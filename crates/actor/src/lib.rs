@@ -1,0 +1,33 @@
+//! # udc-actor — the actor runtime for UDC modules (§3.1)
+//!
+//! The paper proposes the Actor framework as the natural programming
+//! model for fine-grained modules: "Each actor represents a module that
+//! could run on a hardware resource unit. These (distributed) actors
+//! communicate via input and output messages and there is no shared
+//! state between actors. Evidence shows that explicit messages are more
+//! efficient for a disaggregated setting than shared-memory
+//! implementations. Furthermore, messages could be reliably recorded for
+//! faster recovery."
+//!
+//! This crate provides:
+//!
+//! - [`actor::Actor`] — the module-behaviour trait (message in,
+//!   messages out, no shared state);
+//! - [`system::System`] — a deterministic single-threaded executor with
+//!   FIFO mailboxes, used by the simulator and experiments;
+//! - [`system::MessageLog`] — reliable message recording enabling
+//!   replay-based recovery (consumed by `udc-dist`);
+//! - [`supervise::SupervisionPolicy`] — restart/drop/escalate handling
+//!   of actor failures;
+//! - [`parallel::ThreadPool`] — a crossbeam-based threaded executor for
+//!   CPU-bound batch workloads where determinism is not required.
+
+pub mod actor;
+pub mod parallel;
+pub mod supervise;
+pub mod system;
+
+pub use actor::{Actor, ActorError, ActorId, Ctx, Message};
+pub use parallel::ThreadPool;
+pub use supervise::SupervisionPolicy;
+pub use system::{MessageLog, System, SystemStats};

@@ -1,0 +1,134 @@
+//! A small crossbeam-based thread pool for CPU-bound batch work.
+//!
+//! The deterministic [`crate::system::System`] is the simulation
+//! executor; this pool exists for workloads (experiment drivers, batch
+//! analytics in examples) that want real parallelism and do not need
+//! deterministic interleaving.
+
+use crossbeam::channel::{unbounded, Sender};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size worker pool. Dropping the pool joins all workers.
+pub struct ThreadPool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawns `size` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `size` is zero.
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "thread pool needs at least one worker");
+        let (tx, rx) = unbounded::<Job>();
+        let workers = (0..size)
+            .map(|_| {
+                let rx = rx.clone();
+                std::thread::spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        job();
+                    }
+                })
+            })
+            .collect();
+        Self {
+            tx: Some(tx),
+            workers,
+        }
+    }
+
+    /// Submits a job.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.tx
+            .as_ref()
+            .expect("pool is alive while tx is Some")
+            .send(Box::new(job))
+            .expect("workers outlive the sender");
+    }
+
+    /// Runs `f` over every item of `items` in parallel and returns the
+    /// results in input order.
+    pub fn map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send + 'static,
+        R: Send + 'static,
+        F: Fn(T) -> R + Send + Sync + 'static,
+    {
+        use std::sync::Arc;
+        let f = Arc::new(f);
+        let (rtx, rrx) = unbounded::<(usize, R)>();
+        let n = items.len();
+        for (i, item) in items.into_iter().enumerate() {
+            let f = Arc::clone(&f);
+            let rtx = rtx.clone();
+            self.execute(move || {
+                let r = f(item);
+                let _ = rtx.send((i, r));
+            });
+        }
+        drop(rtx);
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            let (i, r) = rrx.recv().expect("every job sends one result");
+            slots[i] = Some(r);
+        }
+        slots.into_iter().map(|s| s.expect("filled")).collect()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Close the channel so workers drain and exit, then join.
+        self.tx = None;
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn executes_jobs() {
+        let pool = ThreadPool::new(4);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..100 {
+            let c = Arc::clone(&counter);
+            pool.execute(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool); // Joins workers.
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn map_preserves_order() {
+        let pool = ThreadPool::new(8);
+        let out = pool.map((0..1000).collect::<Vec<u64>>(), |x| x * x);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i * i) as u64);
+        }
+    }
+
+    #[test]
+    fn map_empty_input() {
+        let pool = ThreadPool::new(2);
+        let out: Vec<u32> = pool.map(Vec::<u32>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        let _ = ThreadPool::new(0);
+    }
+}

@@ -1,0 +1,30 @@
+//! # udc-baseline — today's provider-dictated clouds
+//!
+//! The comparison side of every UDC experiment: the paper's Fig. 1 shows
+//! three incumbent schemes (local datacenter, VM/container IaaS/CaaS,
+//! serverless FaaS). This crate models the cloud-side ones plus the
+//! provider's engineering-cost structure:
+//!
+//! - [`catalog::Catalog`] — an EC2-like instance catalog (including the
+//!   `p3.16xlarge` / `p3dn.24xlarge` shapes §1 names) with on-demand
+//!   pricing; quantization to these shapes is where the "35 % paid but
+//!   unused" waste comes from;
+//! - [`iaas::IaasProvisioner`] — one instance per module (classic IaaS);
+//! - [`iaas::CaasProvisioner`] — containers bin-packed onto a fleet
+//!   (CaaS/Kubernetes-style);
+//! - [`faas::FaasRuntime`] — serverless with fixed memory sizes,
+//!   per-request pricing, **no GPUs** (§1: "no cloud provider has yet
+//!   supported GPU in their serverless computing offerings");
+//! - [`matrix::DevOpsMatrix`] — the "cloud DevOps matrix from hell":
+//!   M services × N features integration cost versus UDC's decoupled
+//!   M + N.
+
+pub mod catalog;
+pub mod faas;
+pub mod iaas;
+pub mod matrix;
+
+pub use catalog::{Catalog, InstanceType};
+pub use faas::{FaasOutcome, FaasRuntime, FaasSize};
+pub use iaas::{CaasProvisioner, IaasOutcome, IaasProvisioner};
+pub use matrix::{simulate_rollout as simulate_rollout_report, DevOpsMatrix, RolloutReport};

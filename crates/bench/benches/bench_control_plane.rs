@@ -1,0 +1,116 @@
+//! Criterion micro-benchmarks for the control plane: end-to-end
+//! placement, extension-VM policy dispatch, and pool allocation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use udc_extvm::{assemble, NullHost, Vm, VmLimits};
+use udc_hal::pool::AllocConstraints;
+use udc_hal::Datacenter;
+use udc_sched::{ExtVmPolicy, LocalityPolicy, PlacementPolicy, PolicyCtx, SchedOptions, Scheduler};
+use udc_spec::{ResourceKind, ResourceVector};
+use udc_workload::{medical_pipeline, random_app, RandomDagConfig};
+
+fn bench_placement(c: &mut Criterion) {
+    let medical = medical_pipeline();
+    c.bench_function("sched/place_medical", |b| {
+        b.iter(|| {
+            let mut dc = Datacenter::default();
+            let mut sched = Scheduler::new(SchedOptions::default());
+            let p = sched.place_app(&mut dc, black_box(&medical)).unwrap();
+            black_box(p);
+        })
+    });
+
+    let mut group = c.benchmark_group("sched/place_random");
+    for tasks in [10usize, 50, 200] {
+        let (app, _) = random_app(RandomDagConfig {
+            tasks,
+            data: tasks / 4,
+            edge_prob: 0.2,
+            conflict_prob: 0.0,
+            seed: 5,
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(tasks), &app, |b, app| {
+            b.iter(|| {
+                let mut dc = Datacenter::default();
+                let mut sched = Scheduler::new(SchedOptions::default());
+                let _ = sched.place_app(&mut dc, black_box(app));
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_policy_dispatch(c: &mut Criterion) {
+    let ctx = PolicyCtx {
+        device: udc_hal::DeviceId(3),
+        free_units: 32,
+        capacity: 64,
+        rack: 2,
+        preferred_rack: 2,
+        demand: 4,
+    };
+    let mut native = LocalityPolicy;
+    c.bench_function("policy/native_score", |b| {
+        b.iter(|| native.score(black_box(&ctx)))
+    });
+    let prog = assemble("arg 0\narg 4\nsub\nret").unwrap();
+    let mut vm_policy = ExtVmPolicy::new("bench", prog, VmLimits::default());
+    c.bench_function("policy/extvm_score", |b| {
+        b.iter(|| vm_policy.score(black_box(&ctx)))
+    });
+
+    // Raw VM dispatch: a loop summing 1..100.
+    let loop_prog = assemble(
+        "
+            arg 0
+            store 1
+        l:  load 1
+            jz d
+            load 0
+            load 1
+            add
+            store 0
+            load 1
+            push 1
+            sub
+            store 1
+            jmp l
+        d:  load 0
+            ret
+        ",
+    )
+    .unwrap();
+    let mut vm = Vm::new(VmLimits::default());
+    c.bench_function("extvm/sum_loop_100", |b| {
+        b.iter(|| {
+            vm.run(black_box(&loop_prog), &[100], &mut NullHost)
+                .unwrap()
+        })
+    });
+}
+
+fn bench_allocation(c: &mut Criterion) {
+    c.bench_function("hal/allocate_release_vector", |b| {
+        let mut dc = Datacenter::default();
+        let demand = ResourceVector::new()
+            .with(ResourceKind::Cpu, 4)
+            .with(ResourceKind::Dram, 8192);
+        b.iter(|| {
+            let allocs = dc
+                .allocate_vector("t", black_box(&demand), &AllocConstraints::default())
+                .unwrap();
+            for a in &allocs {
+                dc.release(a);
+            }
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_placement,
+    bench_policy_dispatch,
+    bench_allocation
+);
+criterion_main!(benches);

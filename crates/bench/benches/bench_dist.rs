@@ -1,0 +1,113 @@
+//! Criterion micro-benchmarks for the distributed substrate: replicated
+//! store operations, actor messaging, and checkpoint recovery.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use udc_actor::{Actor, ActorError, ActorId, Ctx, Message, SupervisionPolicy, System};
+use udc_dist::{recover, CheckpointStore, RecoveryStrategy, ReplicatedStore, ReplicationParams};
+use udc_spec::ConsistencyLevel;
+
+#[derive(Default)]
+struct Sink {
+    seen: u64,
+}
+
+impl Actor for Sink {
+    fn on_message(&mut self, _ctx: &mut Ctx, _msg: &Message) -> Result<(), ActorError> {
+        self.seen += 1;
+        Ok(())
+    }
+    fn reset(&mut self) {
+        self.seen = 0;
+    }
+}
+
+fn bench_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dist/store_write");
+    for level in [
+        ConsistencyLevel::Eventual,
+        ConsistencyLevel::Sequential,
+        ConsistencyLevel::Linearizable,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(level.name()),
+            &level,
+            |b, &level| {
+                let mut store =
+                    ReplicatedStore::new(3, level, ReplicationParams::default()).unwrap();
+                let mut i = 0u64;
+                b.iter(|| {
+                    i += 1;
+                    store.write(black_box("key"), &i.to_le_bytes())
+                })
+            },
+        );
+    }
+    group.finish();
+
+    let mut store = ReplicatedStore::new(
+        3,
+        ConsistencyLevel::Sequential,
+        ReplicationParams::default(),
+    )
+    .unwrap();
+    store.write("key", b"value");
+    c.bench_function("dist/store_read_sequential", |b| {
+        b.iter(|| store.read(black_box("key")))
+    });
+}
+
+fn bench_actor_messaging(c: &mut Criterion) {
+    c.bench_function("actor/deliver_1000", |b| {
+        b.iter(|| {
+            let mut sys = System::new();
+            sys.spawn("sink", Box::<Sink>::default(), SupervisionPolicy::Restart);
+            for i in 0..1_000u64 {
+                sys.inject("sink", Bytes::copy_from_slice(&i.to_le_bytes()));
+            }
+            let (n, _) = sys.run_until_quiescent(usize::MAX);
+            black_box(n)
+        })
+    });
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    // Pre-build a 10k-message history with a checkpoint at 9k.
+    let mut sys = System::new();
+    let id = ActorId::new("w");
+    sys.spawn(
+        id.clone(),
+        Box::<Sink>::default(),
+        SupervisionPolicy::Restart,
+    );
+    for i in 0..10_000u64 {
+        sys.inject(id.clone(), Bytes::copy_from_slice(&i.to_le_bytes()));
+    }
+    sys.run_until_quiescent(usize::MAX);
+    let mut cps = CheckpointStore::new();
+    let seq_9k = sys.log().entries()[8_999].seq;
+    cps.save(&id, seq_9k, 9_000u64.to_le_bytes().to_vec());
+
+    c.bench_function("dist/recover_reexecute_10k", |b| {
+        b.iter(|| {
+            let mut a = Sink::default();
+            recover(&id, &mut a, sys.log(), &cps, RecoveryStrategy::Reexecute)
+        })
+    });
+    c.bench_function("dist/recover_checkpoint_1k_suffix", |b| {
+        b.iter(|| {
+            let mut a = Sink::default();
+            recover(
+                &id,
+                &mut a,
+                sys.log(),
+                &cps,
+                RecoveryStrategy::FromCheckpoint,
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_store, bench_actor_messaging, bench_recovery);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion micro-benchmarks for the specification layer: parsing,
+//! printing, validation, and conflict detection at several app sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use udc_spec::conflict::{detect_conflicts, resolve, ConflictPolicy};
+use udc_spec::{parse_app, print_app};
+use udc_workload::{medical_pipeline, random_app, RandomDagConfig};
+
+fn bench_parse_print(c: &mut Criterion) {
+    let app = medical_pipeline();
+    let text = print_app(&app);
+    c.bench_function("spec/print_medical", |b| {
+        b.iter(|| print_app(black_box(&app)))
+    });
+    c.bench_function("spec/parse_medical", |b| {
+        b.iter(|| parse_app(black_box(&text)).unwrap())
+    });
+    c.bench_function("spec/validate_medical", |b| {
+        b.iter(|| black_box(&app).validate().unwrap())
+    });
+}
+
+fn bench_conflicts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spec/detect_conflicts");
+    for (tasks, data) in [(20usize, 6usize), (200, 60), (2_000, 600)] {
+        let (app, _) = random_app(RandomDagConfig {
+            tasks,
+            data,
+            edge_prob: 0.25,
+            conflict_prob: 0.3,
+            seed: 11,
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(tasks + data), &app, |b, app| {
+            b.iter(|| detect_conflicts(black_box(app)))
+        });
+    }
+    group.finish();
+
+    let (app, _) = random_app(RandomDagConfig {
+        tasks: 200,
+        data: 60,
+        edge_prob: 0.25,
+        conflict_prob: 0.3,
+        seed: 11,
+    });
+    c.bench_function("spec/resolve_strictest_260", |b| {
+        b.iter(|| resolve(black_box(&app), ConflictPolicy::StrictestWins).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_parse_print, bench_conflicts);
+criterion_main!(benches);

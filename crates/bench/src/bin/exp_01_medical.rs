@@ -1,0 +1,108 @@
+//! E1 — Fig. 2 + Table 1: the medical pipeline under the exact user
+//! definitions, end to end on UDC.
+//!
+//! Reproduces the paper's motivating example: every module is placed
+//! with exactly its defined resources, execution environment and
+//! distributed semantics, the pipeline runs, data protection is applied
+//! on every protected access, and the user verifies fulfillment via
+//! remote attestation.
+
+use udc_bench::{banner, fmt_cost, fmt_us, pct, Table};
+use udc_core::{CloudConfig, ModuleVerification, UdcCloud};
+use udc_isolate::WarmPoolConfig;
+use udc_workload::medical_pipeline;
+
+fn main() {
+    banner(
+        "E1",
+        "Medical pipeline (Fig. 2, Table 1)",
+        "users define resources, exec env & security, and distributed \
+         semantics per module; the cloud realizes them exactly",
+    );
+
+    let mut cloud = UdcCloud::new(CloudConfig {
+        warm_pool: WarmPoolConfig::uniform(2),
+        ..Default::default()
+    });
+    let app = medical_pipeline();
+    let mut dep = cloud
+        .submit(&app)
+        .expect("pipeline places on the default datacenter");
+    let report = cloud.run(&dep);
+    let verification = cloud.verify_deployment(&dep);
+
+    let mut t = Table::new(&[
+        "module",
+        "kind",
+        "placed on",
+        "units",
+        "env",
+        "tenancy",
+        "replicas",
+        "start",
+        "verify",
+    ]);
+    for (id, p) in &dep.placement.modules {
+        let spec = app.module(id).expect("module exists");
+        let v = match verification.modules.get(id) {
+            Some(ModuleVerification::Verified) => "verified",
+            Some(ModuleVerification::Failed(_)) => "FAILED",
+            Some(ModuleVerification::NotVerifiable) => "trust provider",
+            None => "-",
+        };
+        t.row(&[
+            id.to_string(),
+            format!("{:?}", spec.kind).to_lowercase(),
+            p.placed_kind.to_string(),
+            p.allocations
+                .first()
+                .map(|a| a.total_units().to_string())
+                .unwrap_or_default(),
+            p.env.kind.to_string(),
+            if p.env.single_tenant {
+                "single"
+            } else {
+                "shared"
+            }
+            .to_string(),
+            p.replica_devices.len().to_string(),
+            format!("{:?}", p.start_mode).to_lowercase(),
+            v.to_string(),
+        ]);
+    }
+    t.print();
+
+    println!();
+    let mut s = Table::new(&["metric", "value"]);
+    s.row(&["end-to-end makespan", &fmt_us(report.makespan_us)]);
+    s.row(&["total cost (run)", &fmt_cost(report.cost.total)]);
+    s.row(&[
+        "protected accesses sealed",
+        &report.sealed_messages.to_string(),
+    ]);
+    s.row(&[
+        "bytes under encryption/integrity",
+        &format!("{} MiB", report.sealed_bytes >> 20),
+    ]);
+    s.row(&["warm-start fraction", &pct(report.warm_fraction)]);
+    s.row(&[
+        "modules verified / trust-required",
+        &format!(
+            "{} / {}",
+            verification.verified(),
+            verification.not_verifiable()
+        ),
+    ]);
+    s.row(&[
+        "all user definitions fulfilled",
+        &verification.all_fulfilled().to_string(),
+    ]);
+    s.print();
+
+    cloud.teardown(&mut dep);
+    println!();
+    println!(
+        "Table 1 fulfillment check: S1 replicas=3 sequential, A4 strongest+2x, B2 weak \
+         container — all encoded, placed and (where verifiable) attested."
+    );
+}

@@ -1,0 +1,97 @@
+//! E3 — §1's waste claim: "users pay for extra (35% according to \[14\])
+//! computing resources they do not need because no cloud service matches
+//! their precise needs."
+//!
+//! 2 000 tenant demands sampled from a realistic mixture are provisioned
+//! (a) the IaaS way — smallest catalog instance that covers the demand —
+//! and (b) the UDC way — exact-fit pool allocation. We report the
+//! paid-but-unused fraction per class and overall.
+
+use udc_baseline::{Catalog, IaasProvisioner};
+use udc_bench::{banner, pct, Table};
+use udc_workload::{DemandClass, DemandSampler};
+
+fn main() {
+    banner(
+        "E3",
+        "Paid-but-unused resources: catalog shapes vs exact fit",
+        "~35% of public-cloud spend is waste [14]; UDC eliminates shape \
+         quantization entirely",
+    );
+
+    let classes = [
+        DemandClass::Web,
+        DemandClass::Batch,
+        DemandClass::MemoryHeavy,
+        DemandClass::Ml,
+        DemandClass::StorageHeavy,
+    ];
+    let catalog = Catalog::aws_2021();
+    let iaas = IaasProvisioner::new();
+
+    let mut t = Table::new(&[
+        "demand class",
+        "n",
+        "IaaS waste",
+        "UDC waste",
+        "IaaS $/h",
+        "UDC-equivalent $/h",
+    ]);
+    let mut sampler = DemandSampler::new(2026);
+    let mut all = Vec::new();
+    for class in classes {
+        let demands: Vec<_> = (0..400).map(|_| sampler.sample_of(class)).collect();
+        let out = iaas.provision(&demands);
+        // UDC: exact fit — the tenant pays unit prices for exactly the
+        // demand. Unit prices from the HAL profiles.
+        let udc_hourly: f64 = demands
+            .iter()
+            .map(|d| {
+                d.iter()
+                    .map(|(k, v)| {
+                        udc_hal::PerfProfile::default_for(k).micro_dollars_per_unit_hour as f64
+                            * v as f64
+                    })
+                    .sum::<f64>()
+            })
+            .sum();
+        t.row(&[
+            format!("{class:?}"),
+            demands.len().to_string(),
+            pct(out.mean_waste),
+            pct(0.0),
+            format!("${:.0}", out.hourly_cost as f64 / 1e6),
+            format!("${:.0}", udc_hourly / 1e6),
+        ]);
+        all.extend(demands);
+    }
+    let overall = iaas.provision(&all);
+    t.row(&[
+        "OVERALL".to_string(),
+        all.len().to_string(),
+        pct(overall.mean_waste),
+        pct(0.0),
+        format!("${:.0}", overall.hourly_cost as f64 / 1e6),
+        "-".to_string(),
+    ]);
+    t.print();
+
+    println!();
+    println!("Paper's flagship case — 8 GPUs + 4 vCPUs of orchestration (§1):");
+    let mut d = udc_spec::ResourceVector::new();
+    d.set(udc_spec::ResourceKind::Gpu, 8);
+    d.set(udc_spec::ResourceKind::Cpu, 4);
+    d.set(udc_spec::ResourceKind::Dram, 64 * 1024);
+    let forced = catalog.cheapest_fitting(&d).expect("p3 shapes fit");
+    println!(
+        "  forced instance: {} (64 vCPUs for a 4-vCPU need), waste = {}",
+        forced.name,
+        pct(forced.waste_fraction(&d))
+    );
+    println!("  UDC: allocates exactly 8 GPU + 4 CPU + 64 GiB from the pools — waste = 0%");
+    println!();
+    println!(
+        "Expected shape: IaaS overall waste in the 30-40% band (paper cites 35%); \
+         UDC waste identically 0 by construction."
+    );
+}

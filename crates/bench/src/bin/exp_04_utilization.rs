@@ -1,0 +1,204 @@
+//! E4 — the 2× utilization claim: "deploying fine-grained application
+//! modules on disaggregated clusters would largely improve resource
+//! utilization (by 2x as shown by \[36\])".
+//!
+//! Equal total capacity is provisioned two ways — as whole servers
+//! (bin-packing) and as disaggregated pools (exact fit) — and the same
+//! demand stream is admitted until each side saturates. The admitted
+//! count and achieved utilization at saturation give the consolidation
+//! factor.
+
+use udc_bench::{banner, pct, Table};
+use udc_hal::pool::AllocConstraints;
+use udc_hal::{Datacenter, DatacenterConfig, FabricConfig, PoolConfig};
+use udc_sched::{PackAlgo, ServerCluster, ServerShape};
+use udc_spec::{ResourceKind, ResourceVector};
+use udc_workload::DemandSampler;
+
+const SERVERS: u64 = 64;
+
+/// The disaggregated datacenter holding exactly the same total capacity
+/// as `SERVERS` standard GPU servers.
+fn matched_pools() -> Datacenter {
+    // ServerShape::standard(2): 64 cpu, 256 GiB dram, 2 TiB ssd, 2 gpus.
+    Datacenter::new(DatacenterConfig {
+        pools: vec![
+            PoolConfig {
+                kind: ResourceKind::Cpu,
+                devices: SERVERS as usize,
+                capacity_per_device: 64,
+            },
+            PoolConfig {
+                kind: ResourceKind::Gpu,
+                devices: (SERVERS / 4) as usize,
+                capacity_per_device: 8,
+            },
+            PoolConfig {
+                kind: ResourceKind::Dram,
+                devices: SERVERS as usize,
+                capacity_per_device: 256 * 1024,
+            },
+            PoolConfig {
+                kind: ResourceKind::Ssd,
+                devices: (SERVERS / 4) as usize,
+                capacity_per_device: 8 * 1024 * 1024,
+            },
+        ],
+        racks: 8,
+        fabric: FabricConfig::default(),
+    })
+}
+
+fn run_trial(skew_seed: u64) -> (usize, f64, usize, f64) {
+    let mut sampler = DemandSampler::new(skew_seed);
+    let demands: Vec<ResourceVector> = sampler.sample_n(4_000);
+
+    // Servers: a fixed fleet of SERVERS machines; every demand that
+    // fits neither an open server nor a new one within the cap is
+    // rejected.
+    let shape = ServerShape::standard(2);
+    let mut cluster = ServerCluster::new(shape.clone());
+    let mut admitted_srv = 0usize;
+    for d in &demands {
+        if cluster
+            .place_bounded(d, PackAlgo::BestFit, SERVERS as usize)
+            .is_some()
+        {
+            admitted_srv += 1;
+        }
+    }
+    let srv_util = cluster.outcome().mean_utilization();
+
+    // Pools: admit the same stream into matched-capacity pools.
+    let mut dc = matched_pools();
+    let mut admitted_pool = 0usize;
+    for d in &demands {
+        if dc
+            .allocate_vector("t", d, &AllocConstraints::default())
+            .is_ok()
+        {
+            admitted_pool += 1;
+        }
+    }
+    let pool_util = {
+        let report = dc.utilization_report();
+        let fracs: Vec<f64> = report
+            .iter()
+            .filter(|(_, _, cap)| *cap > 0)
+            .map(|(_, used, cap)| *used as f64 / *cap as f64)
+            .collect();
+        fracs.iter().sum::<f64>() / fracs.len() as f64
+    };
+    (admitted_srv, srv_util, admitted_pool, pool_util)
+}
+
+fn main() {
+    banner(
+        "E4",
+        "Consolidation: server bin-packing vs disaggregated pools",
+        "fine-grained disaggregated deployment improves utilization ~2x [36]",
+    );
+
+    let mut t = Table::new(&[
+        "trial",
+        "servers admitted",
+        "server util",
+        "pools admitted",
+        "pool util",
+        "admission gain",
+        "util gain",
+    ]);
+    let mut gains = Vec::new();
+    for seed in 1..=5u64 {
+        let (a_srv, u_srv, a_pool, u_pool) = run_trial(seed);
+        let admission_gain = a_pool as f64 / a_srv.max(1) as f64;
+        let util_gain = u_pool / u_srv.max(1e-9);
+        gains.push(util_gain);
+        t.row(&[
+            format!("seed {seed}"),
+            a_srv.to_string(),
+            pct(u_srv),
+            a_pool.to_string(),
+            pct(u_pool),
+            format!("{admission_gain:.2}x"),
+            format!("{util_gain:.2}x"),
+        ]);
+    }
+    t.print();
+    let mean_gain = gains.iter().sum::<f64>() / gains.len() as f64;
+    println!();
+    println!(
+        "Mean utilization gain on the balanced mix: {mean_gain:.2}x. The gain \
+         comes from dimension decoupling: a server is full when ANY dimension \
+         fills; a pool is full only when ITS dimension fills."
+    );
+
+    // Skew sweep — the LegoOS-style metric: to SERVE the whole workload,
+    // how well is the provisioned hardware utilized? Servers must be
+    // bought in bundled shapes, so a skewed demand ratio strands the
+    // other dimensions; pools are provisioned per kind (device-granular)
+    // and strand almost nothing.
+    println!();
+    println!("Skew sweep — provision-to-serve (fraction of memory-heavy vs CPU-heavy batch):");
+    let mut s = Table::new(&[
+        "mem-heavy fraction",
+        "servers bought",
+        "server util",
+        "pool util",
+        "util gain",
+    ]);
+    for pct_mem in [0u64, 25, 50, 75, 100] {
+        let mut sampler = DemandSampler::new(100 + pct_mem);
+        let demands: Vec<ResourceVector> = (0..2_000)
+            .map(|i| {
+                if (i as u64 * 100 / 2_000) < pct_mem {
+                    sampler.sample_of(udc_workload::DemandClass::MemoryHeavy)
+                } else {
+                    sampler.sample_of(udc_workload::DemandClass::Batch)
+                }
+            })
+            .collect();
+        // Servers: open as many as the workload needs (the provider buys
+        // whole machines); utilization over the demanded dimensions.
+        let mut cluster = ServerCluster::new(ServerShape::standard(0));
+        let outcome = cluster.pack_all(&demands, PackAlgo::BestFit);
+        let demanded_dims: Vec<f64> = outcome
+            .utilization
+            .iter()
+            .filter(|(_, used, _)| *used > 0)
+            .map(|(_, used, cap)| *used as f64 / *cap as f64)
+            .collect();
+        let srv_util = demanded_dims.iter().sum::<f64>() / demanded_dims.len().max(1) as f64;
+
+        // Pools: the provider buys devices of each kind to cover the
+        // aggregate demand (device-granular rounding only).
+        let total: ResourceVector = demands
+            .iter()
+            .fold(ResourceVector::new(), |acc, d| acc.saturating_add(d));
+        let mut pool_fracs = Vec::new();
+        for (kind, units) in total.iter() {
+            let device_cap = match kind {
+                ResourceKind::Cpu => 64,
+                ResourceKind::Dram => 256 * 1024,
+                _ => 1024,
+            };
+            let devices = units.div_ceil(device_cap);
+            pool_fracs.push(units as f64 / (devices * device_cap) as f64);
+        }
+        let pool_util = pool_fracs.iter().sum::<f64>() / pool_fracs.len().max(1) as f64;
+        s.row(&[
+            format!("{pct_mem}%"),
+            outcome.servers_used.to_string(),
+            pct(srv_util),
+            pct(pool_util),
+            format!("{:.2}x", pool_util / srv_util.max(1e-9)),
+        ]);
+    }
+    s.print();
+    println!();
+    println!(
+        "Expected shape (paper, via LegoOS [36]): ~2x when demand ratios are \
+         skewed away from the server shape; the gain shrinks when the mix \
+         happens to match the bundle."
+    );
+}

@@ -1,0 +1,92 @@
+//! E15 — §4 "Economics and adoption": "providers could charge a higher
+//! unit price that is still attractive to users since they can tailor
+//! their cloud usages and only pay for what is used."
+//!
+//! Sweep the UDC unit-price multiplier: user's monthly bill (exact fit x
+//! multiplier) vs the IaaS bill (catalog shapes), and the provider's
+//! revenue per unit of hardware actually consumed. The win-win region is
+//! where users still save AND the provider earns more per unit.
+
+use udc_baseline::IaasProvisioner;
+use udc_bench::{banner, pct, Table};
+use udc_spec::ResourceVector;
+use udc_workload::DemandSampler;
+
+fn main() {
+    banner(
+        "E15",
+        "Win-win pricing region",
+        "UDC can raise unit prices and still undercut users' total cost, \
+         because users stop paying for stranded capacity",
+    );
+
+    let mut sampler = DemandSampler::new(99);
+    let demands: Vec<ResourceVector> = sampler.sample_n(2_000);
+
+    // Baseline: IaaS bill for the same demands.
+    let iaas = IaasProvisioner::new();
+    let iaas_out = iaas.provision(&demands);
+    let iaas_hourly = iaas_out.hourly_cost as f64;
+
+    // UDC at multiplier 1.0: users pay unit prices for exactly the
+    // demand.
+    let udc_base_hourly: f64 = demands
+        .iter()
+        .map(|d| {
+            d.iter()
+                .map(|(k, v)| {
+                    udc_hal::PerfProfile::default_for(k).micro_dollars_per_unit_hour as f64
+                        * v as f64
+                })
+                .sum::<f64>()
+        })
+        .sum();
+
+    // Provider cost model (stated assumptions): amortized hardware,
+    // power and operations cost ~40% of the UDC base price for capacity
+    // actually PROVISIONED. IaaS must provision used/(1-waste); UDC
+    // provisions used/0.8 (20% elasticity headroom) — the paper's
+    // consolidation argument ("providers could potentially consolidate
+    // more applications to the same amount of computing resources and
+    // shutting down the remaining ones").
+    let hw_cost_fraction = 0.4;
+    let iaas_provisioned = 1.0 / (1.0 - iaas_out.mean_waste);
+    let udc_provisioned = 1.0 / 0.8;
+    let iaas_profit = iaas_hourly - hw_cost_fraction * udc_base_hourly * iaas_provisioned;
+
+    let mut t = Table::new(&[
+        "price multiplier",
+        "user bill (UDC)",
+        "user bill (IaaS)",
+        "user saving",
+        "provider profit vs IaaS",
+        "win-win",
+    ]);
+    for mult10 in [10u64, 11, 12, 13, 14, 15, 16, 18, 20] {
+        let mult = mult10 as f64 / 10.0;
+        let udc_hourly = udc_base_hourly * mult;
+        let saving = 1.0 - udc_hourly / iaas_hourly;
+        let udc_profit = udc_hourly - hw_cost_fraction * udc_base_hourly * udc_provisioned;
+        let profit_ratio = udc_profit / iaas_profit;
+        let win_win = saving > 0.0 && profit_ratio >= 1.0;
+        t.row(&[
+            format!("{mult:.1}x"),
+            format!("${:.0}/h", udc_hourly / 1e6),
+            format!("${:.0}/h", iaas_hourly / 1e6),
+            pct(saving),
+            format!("{profit_ratio:.2}x"),
+            if win_win { "YES" } else { "no" }.to_string(),
+        ]);
+    }
+    t.print();
+
+    println!();
+    println!(
+        "IaaS mean waste on this population: {}. Assumptions: hardware+ops \
+         cost = 40% of base unit price for provisioned capacity; IaaS \
+         provisions 1/(1-waste) per used unit, UDC 1/0.8 (consolidation, E4). \
+         The win-win region is where the user still saves AND the provider's \
+         profit matches or beats IaaS — the paper's adoption argument.",
+        pct(iaas_out.mean_waste)
+    );
+}

@@ -1,0 +1,150 @@
+//! # udc-bench — experiment harness and micro-benchmarks
+//!
+//! One binary per experiment in DESIGN.md's per-experiment index
+//! (E1–E15), each regenerating one figure/table/claim of the paper:
+//!
+//! ```text
+//! cargo run -p udc-bench --release --bin exp_01_medical
+//! cargo run -p udc-bench --release --bin exp_03_waste
+//! ...
+//! ```
+//!
+//! Criterion micro-benchmarks live in `benches/`:
+//! `cargo bench -p udc-bench`.
+//!
+//! This library provides the shared table-rendering helpers so every
+//! experiment prints uniform, paper-style tables.
+
+use std::fmt::Display;
+
+/// A simple fixed-width table printer for experiment output.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Display>(headers: &[S]) -> Self {
+        Self {
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds one row (stringified cells).
+    pub fn row<S: Display>(&mut self, cells: &[S]) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
+        self
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let line = |out: &mut String, cells: &[String]| {
+            out.push_str("| ");
+            for (i, c) in cells.iter().enumerate() {
+                out.push_str(c);
+                for _ in c.chars().count()..widths[i] {
+                    out.push(' ');
+                }
+                out.push_str(" | ");
+            }
+            out.pop();
+            out.push('\n');
+        };
+        line(&mut out, &self.headers);
+        out.push('|');
+        for w in &widths {
+            out.push_str(&"-".repeat(w + 2));
+            out.push('|');
+        }
+        out.push('\n');
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Prints an experiment banner.
+pub fn banner(id: &str, title: &str, claim: &str) {
+    println!("=== {id}: {title} ===");
+    println!("Paper claim: {claim}");
+    println!();
+}
+
+/// Formats microseconds human-readably.
+pub fn fmt_us(us: u64) -> String {
+    if us >= 10_000_000 {
+        format!("{:.1} s", us as f64 / 1e6)
+    } else if us >= 10_000 {
+        format!("{:.1} ms", us as f64 / 1e3)
+    } else {
+        format!("{us} us")
+    }
+}
+
+/// Formats micro-dollars human-readably.
+pub fn fmt_cost(micro_dollars: u64) -> String {
+    format!("${:.4}", micro_dollars as f64 / 1e6)
+}
+
+/// Formats a fraction as a percentage.
+pub fn pct(f: f64) -> String {
+    format!("{:.1}%", f * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&["alpha", "1"]);
+        t.row(&["b", "100000"]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        let widths: Vec<usize> = lines.iter().map(|l| l.chars().count()).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "{r}");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only-one"]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_us(500), "500 us");
+        assert_eq!(fmt_us(50_000), "50.0 ms");
+        assert_eq!(fmt_us(20_000_000), "20.0 s");
+        assert_eq!(fmt_cost(1_500_000), "$1.5000");
+        assert_eq!(pct(0.351), "35.1%");
+    }
+}

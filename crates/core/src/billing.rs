@@ -1,0 +1,256 @@
+//! Usage-based billing (§2 and §4 "Economics and adoption").
+//!
+//! "Users obtain and pay only for the resources and features they need,
+//! instead of predefined packages that contain unnecessary resources."
+//! And on the provider side: "they can increase the unit price of their
+//! computing resources to the extent that still offers users a lower
+//! total cost than today's cloud." The `price_multiplier` knob is that
+//! unit-price increase; experiment E15 sweeps it to find the win-win
+//! region.
+
+use serde::{Deserialize, Serialize};
+use udc_hal::Datacenter;
+use udc_sched::AppPlacement;
+use udc_spec::ResourceKind;
+
+/// The UDC pricing model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BillingModel {
+    /// Multiplier over the baseline unit prices (1.0 = same per-unit
+    /// price as the incumbent; the paper argues UDC can charge more).
+    pub price_multiplier: f64,
+    /// Surcharge multiplier for single-tenant (exclusive) devices — the
+    /// tenant pays for the whole device's opportunity cost.
+    pub exclusive_surcharge: f64,
+}
+
+impl Default for BillingModel {
+    fn default() -> Self {
+        Self {
+            price_multiplier: 1.0,
+            exclusive_surcharge: 1.0,
+        }
+    }
+}
+
+/// An itemized bill for one run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CostBreakdown {
+    /// Per-kind cost in micro-dollars: (kind, micro-dollars).
+    pub by_kind: Vec<(ResourceKind, u64)>,
+    /// Surcharges for exclusive devices.
+    pub exclusive_surcharge: u64,
+    /// Grand total in micro-dollars.
+    pub total: u64,
+}
+
+impl BillingModel {
+    /// Prices a placement held for `duration_us` of virtual time.
+    ///
+    /// Exclusive slices are billed for the *entire device* (the tenant
+    /// monopolizes it), times the surcharge; shared slices for exactly
+    /// the units held — the "pay only for what you use" principle.
+    pub fn price(
+        &self,
+        dc: &Datacenter,
+        placement: &AppPlacement,
+        duration_us: u64,
+    ) -> CostBreakdown {
+        let mut by_kind: std::collections::BTreeMap<ResourceKind, u64> = Default::default();
+        let mut surcharge_total = 0u64;
+        for m in placement.modules.values() {
+            for alloc in &m.allocations {
+                for slice in &alloc.slices {
+                    let Some(device) = dc.device(slice.device) else {
+                        continue;
+                    };
+                    let base = if slice.exclusive {
+                        let whole = device.cost_of(device.capacity, duration_us);
+                        let with_surcharge =
+                            (whole as f64 * self.exclusive_surcharge).round() as u64;
+                        surcharge_total += with_surcharge.saturating_sub(whole);
+                        with_surcharge
+                    } else {
+                        device.cost_of(slice.units, duration_us)
+                    };
+                    let cost = (base as f64 * self.price_multiplier).round() as u64;
+                    *by_kind.entry(alloc.kind).or_insert(0) += cost;
+                }
+            }
+        }
+        let total: u64 = by_kind.values().sum();
+        CostBreakdown {
+            by_kind: by_kind.into_iter().collect(),
+            exclusive_surcharge: surcharge_total,
+            total,
+        }
+    }
+}
+
+impl BillingModel {
+    /// Prices a run with per-module holding windows: each task module is
+    /// billed for its own `(start, end)` execution window — "pay only
+    /// for the resources and features they need" at *time* granularity —
+    /// while modules absent from `windows` (data modules, which persist)
+    /// are billed for the full `makespan_us`.
+    pub fn price_windows(
+        &self,
+        dc: &Datacenter,
+        placement: &AppPlacement,
+        windows: &std::collections::BTreeMap<udc_spec::ModuleId, (u64, u64)>,
+        makespan_us: u64,
+    ) -> CostBreakdown {
+        let mut by_kind: std::collections::BTreeMap<ResourceKind, u64> = Default::default();
+        let mut surcharge_total = 0u64;
+        for (id, m) in &placement.modules {
+            let duration = windows
+                .get(id)
+                .map(|(s, e)| e.saturating_sub(*s))
+                .unwrap_or(makespan_us);
+            for alloc in &m.allocations {
+                for slice in &alloc.slices {
+                    let Some(device) = dc.device(slice.device) else {
+                        continue;
+                    };
+                    let base = if slice.exclusive {
+                        let whole = device.cost_of(device.capacity, duration);
+                        let with = (whole as f64 * self.exclusive_surcharge).round() as u64;
+                        surcharge_total += with.saturating_sub(whole);
+                        with
+                    } else {
+                        device.cost_of(slice.units, duration)
+                    };
+                    let cost = (base as f64 * self.price_multiplier).round() as u64;
+                    *by_kind.entry(alloc.kind).or_insert(0) += cost;
+                }
+            }
+        }
+        let total: u64 = by_kind.values().sum();
+        CostBreakdown {
+            by_kind: by_kind.into_iter().collect(),
+            exclusive_surcharge: surcharge_total,
+            total,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udc_sched::{SchedOptions, Scheduler};
+    use udc_spec::{AppSpec, ResourceAspect, TaskSpec};
+
+    fn placed(exclusive: bool) -> (Datacenter, AppPlacement) {
+        let mut app = AppSpec::new("b");
+        let mut task = TaskSpec::new("A1")
+            .with_resource(ResourceAspect::default().with_demand(ResourceKind::Cpu, 4));
+        if exclusive {
+            task = task.with_exec_env(udc_spec::ExecEnvAspect::isolation(
+                udc_spec::IsolationLevel::Strongest,
+            ));
+        }
+        app.add_task(task);
+        let mut dc = Datacenter::default();
+        let mut sched = Scheduler::new(SchedOptions::default());
+        let placement = sched.place_app(&mut dc, &app).unwrap();
+        (dc, placement)
+    }
+
+    const HOUR_US: u64 = 3_600_000_000;
+
+    #[test]
+    fn shared_pricing_is_per_unit() {
+        let (dc, placement) = placed(false);
+        let bill = BillingModel::default().price(&dc, &placement, HOUR_US);
+        // 4 CPU cores at $0.04/core-hour = 160_000 micro-dollars.
+        assert_eq!(bill.total, 160_000);
+        assert_eq!(bill.exclusive_surcharge, 0);
+    }
+
+    #[test]
+    fn exclusive_bills_whole_device() {
+        let (dc, placement) = placed(true);
+        let bill = BillingModel::default().price(&dc, &placement, HOUR_US);
+        // The exclusive CPU device has 64 cores.
+        assert_eq!(bill.total, 64 * 40_000);
+    }
+
+    #[test]
+    fn multiplier_scales_linearly() {
+        let (dc, placement) = placed(false);
+        let base = BillingModel::default().price(&dc, &placement, HOUR_US);
+        let pricey = BillingModel {
+            price_multiplier: 1.5,
+            ..Default::default()
+        }
+        .price(&dc, &placement, HOUR_US);
+        assert_eq!(pricey.total, (base.total as f64 * 1.5) as u64);
+    }
+
+    #[test]
+    fn surcharge_applies_to_exclusive_only() {
+        let (dc, placement) = placed(true);
+        let bill = BillingModel {
+            exclusive_surcharge: 1.25,
+            ..Default::default()
+        }
+        .price(&dc, &placement, HOUR_US);
+        assert!(bill.exclusive_surcharge > 0);
+        assert_eq!(bill.total, (64.0 * 40_000.0 * 1.25) as u64);
+    }
+
+    #[test]
+    fn zero_duration_zero_cost() {
+        let (dc, placement) = placed(false);
+        let bill = BillingModel::default().price(&dc, &placement, 0);
+        assert_eq!(bill.total, 0);
+    }
+}
+
+#[cfg(test)]
+mod window_tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use udc_sched::{SchedOptions, Scheduler};
+    use udc_spec::{AppSpec, ModuleId, ResourceAspect, TaskSpec};
+
+    const HOUR_US: u64 = 3_600_000_000;
+
+    #[test]
+    fn windows_bill_tasks_for_their_own_duration() {
+        let mut app = AppSpec::new("w");
+        app.add_task(
+            TaskSpec::new("short")
+                .with_resource(ResourceAspect::default().with_demand(ResourceKind::Cpu, 4)),
+        );
+        app.add_task(
+            TaskSpec::new("long")
+                .with_resource(ResourceAspect::default().with_demand(ResourceKind::Cpu, 4)),
+        );
+        let mut dc = Datacenter::default();
+        let mut sched = Scheduler::new(SchedOptions::default());
+        let placement = sched.place_app(&mut dc, &app).unwrap();
+        let mut windows = BTreeMap::new();
+        windows.insert(ModuleId::from("short"), (0u64, HOUR_US / 4));
+        windows.insert(ModuleId::from("long"), (0u64, HOUR_US));
+        let bill = BillingModel::default().price_windows(&dc, &placement, &windows, HOUR_US);
+        // 4 cores x (0.25h + 1h) at $0.04/core-h = $0.20.
+        assert_eq!(bill.total, 200_000);
+    }
+
+    #[test]
+    fn modules_without_windows_pay_makespan() {
+        let mut app = AppSpec::new("w");
+        app.add_task(
+            TaskSpec::new("T")
+                .with_resource(ResourceAspect::default().with_demand(ResourceKind::Cpu, 2)),
+        );
+        let mut dc = Datacenter::default();
+        let mut sched = Scheduler::new(SchedOptions::default());
+        let placement = sched.place_app(&mut dc, &app).unwrap();
+        let empty = BTreeMap::new();
+        let bill = BillingModel::default().price_windows(&dc, &placement, &empty, HOUR_US);
+        let flat = BillingModel::default().price(&dc, &placement, HOUR_US);
+        assert_eq!(bill.total, flat.total, "fallback equals flat pricing");
+    }
+}

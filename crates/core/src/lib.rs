@@ -1,0 +1,36 @@
+//! # udc-core — the User-Defined Cloud control plane
+//!
+//! The crate that ties the substrates into the system the paper
+//! proposes: a cloud where *users* define hardware resources, execution
+//! environments/security, and distributed semantics per module, and the
+//! *provider* (this crate) realizes those definitions on a fine-grained,
+//! disaggregated infrastructure.
+//!
+//! The tenant-facing flow:
+//!
+//! ```text
+//! AppSpec (udc-spec)                        // what the user writes
+//!   └── UdcCloud::submit(app)               // conflict-check, compile
+//!         ├── AppIr (ir.rs)                 // IR of modules + bundles
+//!         ├── Scheduler::place_app          // exact-fit placement
+//!         └── Deployment                    // live environments + keys
+//!               ├── UdcCloud::run           // execute the DAG
+//!               │     └── RunReport         // latency, cost, security
+//!               └── UdcCloud::verify_deployment  // §4 attestation
+//! ```
+//!
+//! See [`cloud::UdcCloud`] for the entry point.
+
+pub mod billing;
+pub mod bundle;
+pub mod cloud;
+pub mod dryrun;
+pub mod ir;
+pub mod verify;
+
+pub use billing::{BillingModel, CostBreakdown};
+pub use bundle::{HighLevelObject, ResourceUnit};
+pub use cloud::{CloudConfig, CloudError, Deployment, RunReport, UdcCloud};
+pub use dryrun::{dry_run, TaskProfile, TrialResult};
+pub use ir::{AppIr, ModuleIr};
+pub use verify::{check_quote, policy_for_module, ModuleVerification, VerificationReport};

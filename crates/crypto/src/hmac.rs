@@ -1,0 +1,114 @@
+//! HMAC-SHA256 (RFC 2104), used for integrity protection and as the
+//! quote-signing primitive of the simulated hardware root of trust.
+
+use crate::sha256::{sha256, Sha256};
+
+const BLOCK: usize = 64;
+
+/// Computes `HMAC-SHA256(key, message)`.
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; 32] {
+    let mut k = [0u8; BLOCK];
+    if key.len() > BLOCK {
+        let d = sha256(key);
+        k[..32].copy_from_slice(&d);
+    } else {
+        k[..key.len()].copy_from_slice(key);
+    }
+    let mut ipad = [0x36u8; BLOCK];
+    let mut opad = [0x5cu8; BLOCK];
+    for i in 0..BLOCK {
+        ipad[i] ^= k[i];
+        opad[i] ^= k[i];
+    }
+    let mut inner = Sha256::new();
+    inner.update(&ipad);
+    inner.update(message);
+    let inner_digest = inner.finalize();
+    let mut outer = Sha256::new();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finalize()
+}
+
+/// Constant-time-ish tag comparison.
+///
+/// Compares all bytes regardless of where the first mismatch occurs so a
+/// verifier does not leak the mismatch position through timing. (The
+/// simulation does not model timing, but the discipline costs nothing.)
+pub fn verify_tag(expected: &[u8; 32], actual: &[u8; 32]) -> bool {
+    let mut diff = 0u8;
+    for i in 0..32 {
+        diff |= expected[i] ^ actual[i];
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &[u8]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // RFC 4231 test cases.
+    #[test]
+    fn rfc4231_case1() {
+        let key = [0x0bu8; 20];
+        let tag = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            hex(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case2() {
+        let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case3() {
+        let key = [0xaau8; 20];
+        let msg = [0xddu8; 50];
+        let tag = hmac_sha256(&key, &msg);
+        assert_eq!(
+            hex(&tag),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case6_long_key() {
+        let key = [0xaau8; 131];
+        let tag = hmac_sha256(
+            &key,
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
+        assert_eq!(
+            hex(&tag),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn different_keys_different_tags() {
+        assert_ne!(hmac_sha256(b"k1", b"m"), hmac_sha256(b"k2", b"m"));
+    }
+
+    #[test]
+    fn verify_tag_accepts_and_rejects() {
+        let t1 = hmac_sha256(b"k", b"m");
+        let mut t2 = t1;
+        assert!(verify_tag(&t1, &t2));
+        t2[31] ^= 1;
+        assert!(!verify_tag(&t1, &t2));
+        t2[31] ^= 1;
+        t2[0] ^= 0x80;
+        assert!(!verify_tag(&t1, &t2));
+    }
+}

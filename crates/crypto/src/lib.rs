@@ -1,0 +1,43 @@
+//! # udc-crypto — data protection and remote attestation for UDC
+//!
+//! Implements the security substrate §3.3 and §4 of the paper rely on:
+//!
+//! - **Confidentiality**: ChaCha20 stream cipher (RFC 8439 core).
+//! - **Integrity**: SHA-256, HMAC-SHA256, and Merkle trees for protecting
+//!   data that leaves an execution environment.
+//! - **Replay protection**: monotonic-counter envelopes.
+//! - **Authenticated encryption**: encrypt-then-MAC sealing combining the
+//!   above.
+//! - **Key derivation**: an HKDF-style expand built on HMAC.
+//! - **Remote attestation** (§4): measurement registers (PCR-like),
+//!   quotes signed by a simulated hardware root of trust, and verifier-
+//!   side freshness and policy checks — "users can verify important
+//!   properties without trusting the vendor and by just trusting the
+//!   hardware itself".
+//!
+//! ## Security disclaimer
+//!
+//! These are *clean-room, simulation-grade* implementations written for
+//! reproducing the paper's system behaviour. They are functionally
+//! correct against published test vectors but are **not hardened against
+//! side channels** and must not be used to protect real data.
+
+pub mod aead;
+pub mod attest;
+pub mod chacha20;
+pub mod hkdf;
+pub mod hmac;
+pub mod merkle;
+pub mod replay;
+pub mod sha256;
+
+pub use aead::{open, seal, AeadError, Key, Nonce, SealedBox};
+pub use attest::{
+    AttestError, AttestationPolicy, MeasurementRegister, Quote, RootOfTrust, Verifier,
+};
+pub use chacha20::ChaCha20;
+pub use hkdf::derive_key;
+pub use hmac::hmac_sha256;
+pub use merkle::{MerkleProof, MerkleTree};
+pub use replay::{ReplayError, ReplayGuard, SequencedMessage};
+pub use sha256::{sha256, Sha256};

@@ -1,0 +1,30 @@
+//! # udc-dist — user-defined distributed semantics (§3.4)
+//!
+//! "Users should be able to define how their applications run
+//! distributedly, but without the need to build complex distributed
+//! systems." The user declares a replication factor, a consistency
+//! level, an operation preference, a failure domain, and a failure-
+//! handling strategy (Table 1); this crate is the provider-side
+//! realization of each:
+//!
+//! - [`store::ReplicatedStore`] — a replicated KV data module
+//!   implementing all five [`udc_spec::ConsistencyLevel`]s with a
+//!   deterministic latency/staleness model;
+//! - [`prefqueue::PreferenceQueue`] — reader/writer operation
+//!   preference (Table 1's "Reader preference");
+//! - [`checkpoint::CheckpointStore`] and [`checkpoint::recover`] —
+//!   checkpoint/replay recovery versus re-execution, built on
+//!   `udc-actor`'s reliable message log;
+//! - [`domain::DomainTracker`] — user-defined failure domains ("code
+//!   and data within a domain will fail as a whole" while "different
+//!   domains could fail independently").
+
+pub mod checkpoint;
+pub mod domain;
+pub mod prefqueue;
+pub mod store;
+
+pub use checkpoint::{recover, Checkpoint, CheckpointStore, RecoveryOutcome, RecoveryStrategy};
+pub use domain::DomainTracker;
+pub use prefqueue::{Op, OpKind, PreferenceQueue};
+pub use store::{ReadResult, ReplicatedStore, ReplicationParams, StoreError, StoreStats};

@@ -1,0 +1,620 @@
+//! A replicated key-value data module with user-selected consistency.
+//!
+//! The store is a deterministic *model*: latencies are computed from a
+//! parameter set rather than measured, and replica lag is explicit, so
+//! experiments can sweep replication factors and consistency levels and
+//! observe the throughput/staleness trade-offs §3.4 implies.
+//!
+//! ## Consistency realization
+//!
+//! | Level | Write path | Read path | Staleness |
+//! |---|---|---|---|
+//! | Eventual | primary, async propagate | any replica | unbounded |
+//! | Release | buffered until `release()`, then as Eventual | any replica | until release |
+//! | Causal | primary, async; reads wait for causal prefix | session replica | bounded by deps |
+//! | Sequential | primary sequences, sync majority | majority-fresh replica | none observable |
+//! | Linearizable | sync all replicas | primary-confirmed | none |
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use udc_spec::ConsistencyLevel;
+
+/// Latency parameters for the replication model (microseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReplicationParams {
+    /// One replica acknowledging a synchronous write.
+    pub ack_latency_us: u64,
+    /// Applying an asynchronous propagation to one replica.
+    pub propagation_delay_us: u64,
+    /// Serving a local read.
+    pub read_latency_us: u64,
+    /// §3.4's programmable-network option ("a promising direction is to
+    /// explore the programmability in the network to enforce the
+    /// distributed specifications", citing NOPaxos \[26\] and Pegasus
+    /// \[27\]): when true, the ToR switch / SmartNIC performs the
+    /// replication fan-out and ordering, so a synchronous write costs
+    /// one ack round regardless of the replica count, instead of a
+    /// host-serialized fan-out.
+    pub in_network: bool,
+}
+
+impl Default for ReplicationParams {
+    fn default() -> Self {
+        Self {
+            ack_latency_us: 150,
+            propagation_delay_us: 400,
+            read_latency_us: 20,
+            in_network: false,
+        }
+    }
+}
+
+impl ReplicationParams {
+    /// Default parameters with in-network replication enabled.
+    pub fn in_network() -> Self {
+        Self {
+            in_network: true,
+            ..Self::default()
+        }
+    }
+}
+
+/// Errors from store operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// Replica index out of range.
+    BadReplica(usize),
+    /// Zero replicas requested.
+    NoReplicas,
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::BadReplica(i) => write!(f, "replica {i} out of range"),
+            StoreError::NoReplicas => f.write_str("replication factor must be >= 1"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// A versioned value inside one replica.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Versioned {
+    version: u64,
+    value: Vec<u8>,
+}
+
+/// The result of a read: value (if present), the version observed, and
+/// the modelled latency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadResult {
+    /// The value, if the key exists at the serving replica.
+    pub value: Option<Vec<u8>>,
+    /// Version observed (0 = key absent).
+    pub version: u64,
+    /// Modelled latency of the read.
+    pub latency_us: u64,
+    /// Versions behind the primary at serve time (staleness metric).
+    pub staleness: u64,
+}
+
+/// Cumulative statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoreStats {
+    /// Writes accepted.
+    pub writes: u64,
+    /// Reads served.
+    pub reads: u64,
+    /// Total modelled write latency.
+    pub write_latency_us: u64,
+    /// Total modelled read latency.
+    pub read_latency_us: u64,
+    /// Reads that observed a stale version.
+    pub stale_reads: u64,
+}
+
+impl StoreStats {
+    /// Mean write latency (0 when no writes).
+    pub fn mean_write_latency_us(&self) -> f64 {
+        if self.writes == 0 {
+            0.0
+        } else {
+            self.write_latency_us as f64 / self.writes as f64
+        }
+    }
+
+    /// Mean read latency (0 when no reads).
+    pub fn mean_read_latency_us(&self) -> f64 {
+        if self.reads == 0 {
+            0.0
+        } else {
+            self.read_latency_us as f64 / self.reads as f64
+        }
+    }
+}
+
+/// A replicated KV data module.
+#[derive(Debug, Clone)]
+pub struct ReplicatedStore {
+    level: ConsistencyLevel,
+    params: ReplicationParams,
+    /// replicas\[0\] is the primary.
+    replicas: Vec<BTreeMap<String, Versioned>>,
+    /// Monotonic version counter (assigned by the primary sequencer).
+    next_version: u64,
+    /// Ops applied at the primary but not yet at every replica:
+    /// (key, versioned, replicas still missing it).
+    in_flight: Vec<(String, Versioned, Vec<usize>)>,
+    /// Release-consistency write buffer (not yet visible anywhere but
+    /// the writer).
+    release_buffer: Vec<(String, Vec<u8>)>,
+    stats: StoreStats,
+    /// Round-robin read cursor for replica load-balancing.
+    read_cursor: usize,
+}
+
+impl ReplicatedStore {
+    /// Creates a store with `replication` replicas at `level`.
+    pub fn new(
+        replication: u32,
+        level: ConsistencyLevel,
+        params: ReplicationParams,
+    ) -> Result<Self, StoreError> {
+        if replication == 0 {
+            return Err(StoreError::NoReplicas);
+        }
+        Ok(Self {
+            level,
+            params,
+            replicas: vec![BTreeMap::new(); replication as usize],
+            next_version: 0,
+            in_flight: Vec::new(),
+            release_buffer: Vec::new(),
+            stats: StoreStats::default(),
+            read_cursor: 0,
+        })
+    }
+
+    /// The consistency level in force.
+    pub fn level(&self) -> ConsistencyLevel {
+        self.level
+    }
+
+    /// Replication factor.
+    pub fn replication(&self) -> u32 {
+        self.replicas.len() as u32
+    }
+
+    /// Writes `key = value`, returning the modelled latency.
+    ///
+    /// Under `Release`, the write is buffered and costs only the local
+    /// write until [`ReplicatedStore::release`] is called.
+    pub fn write(&mut self, key: &str, value: &[u8]) -> u64 {
+        self.stats.writes += 1;
+        let latency = match self.level {
+            ConsistencyLevel::Release => {
+                self.release_buffer.push((key.to_string(), value.to_vec()));
+                self.params.read_latency_us // Local buffer append: cheap.
+            }
+            ConsistencyLevel::Eventual | ConsistencyLevel::Causal => {
+                self.apply_primary(key, value);
+                // Primary ack only; propagation is asynchronous.
+                self.params.ack_latency_us
+            }
+            ConsistencyLevel::Sequential => {
+                self.apply_primary(key, value);
+                // Majority of replicas acknowledge synchronously; the
+                // tail is applied asynchronously. Host-driven fan-out
+                // serializes part of the work (25% of an ack round per
+                // extra member); in-network fan-out (switch/SmartNIC,
+                // §3.4) replicates in the fabric at line rate, so the
+                // cost stays one ack round.
+                let majority = self.replicas.len() / 2 + 1;
+                self.sync_first_n(majority);
+                self.params.ack_latency_us + self.fan_out_cost(majority as u64)
+            }
+            ConsistencyLevel::Linearizable => {
+                self.apply_primary(key, value);
+                let all = self.replicas.len();
+                self.sync_first_n(all);
+                self.params.ack_latency_us + self.fan_out_cost(all as u64)
+            }
+        };
+        self.stats.write_latency_us += latency;
+        latency
+    }
+
+    /// Fan-out serialization cost for a synchronous write to `members`
+    /// replicas: zero with in-network replication, a quarter of an ack
+    /// round per extra member host-driven.
+    fn fan_out_cost(&self, members: u64) -> u64 {
+        if self.params.in_network {
+            0
+        } else {
+            (self.params.ack_latency_us / 4) * members.saturating_sub(1)
+        }
+    }
+
+    fn apply_primary(&mut self, key: &str, value: &[u8]) {
+        self.next_version += 1;
+        let v = Versioned {
+            version: self.next_version,
+            value: value.to_vec(),
+        };
+        self.replicas[0].insert(key.to_string(), v.clone());
+        let lagging: Vec<usize> = (1..self.replicas.len()).collect();
+        if !lagging.is_empty() {
+            self.in_flight.push((key.to_string(), v, lagging));
+        }
+    }
+
+    /// Synchronously applies all in-flight ops to replicas `0..n`.
+    fn sync_first_n(&mut self, n: usize) {
+        for (key, v, lagging) in &mut self.in_flight {
+            lagging.retain(|&r| {
+                if r < n {
+                    let slot = self.replicas[r]
+                        .entry(key.clone())
+                        .or_insert_with(|| Versioned {
+                            version: 0,
+                            value: Vec::new(),
+                        });
+                    if v.version > slot.version {
+                        *slot = v.clone();
+                    }
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        self.in_flight.retain(|(_, _, lagging)| !lagging.is_empty());
+    }
+
+    /// Release point (release consistency): makes all buffered writes
+    /// visible, returning the modelled latency of the batch.
+    pub fn release(&mut self) -> u64 {
+        if self.release_buffer.is_empty() {
+            return 0;
+        }
+        let writes = std::mem::take(&mut self.release_buffer);
+        let n = writes.len() as u64;
+        for (k, v) in writes {
+            self.apply_primary(&k, &v);
+        }
+        // One propagation round amortizes the whole batch.
+        let latency = self.params.ack_latency_us + self.params.propagation_delay_us / n.max(1);
+        self.stats.write_latency_us += latency;
+        latency
+    }
+
+    /// Applies one round of asynchronous propagation: every in-flight op
+    /// reaches every lagging replica. Experiments call this to model the
+    /// passage of `propagation_delay_us`.
+    pub fn propagate(&mut self) {
+        let n = self.replicas.len();
+        self.sync_first_n(n);
+    }
+
+    /// Reads `key`, load-balanced across replicas according to the
+    /// consistency level.
+    pub fn read(&mut self, key: &str) -> ReadResult {
+        self.stats.reads += 1;
+        let primary_version = self.replicas[0].get(key).map(|v| v.version).unwrap_or(0);
+        let (replica, extra_latency) = match self.level {
+            // Strong levels serve fresh data: sequential reads go to a
+            // majority-fresh replica (the primary in this model);
+            // linearizable reads additionally confirm with the primary.
+            ConsistencyLevel::Sequential => (0usize, 0),
+            ConsistencyLevel::Linearizable => (0usize, self.params.ack_latency_us),
+            // Causal: session replica must contain the causal prefix; we
+            // model a per-read dependency wait of one propagation hop
+            // when the chosen replica lags.
+            ConsistencyLevel::Causal => {
+                let r = self.pick_replica();
+                let lag =
+                    primary_version - self.replicas[r].get(key).map(|v| v.version).unwrap_or(0);
+                if lag > 0 {
+                    // Wait for the dependency to arrive.
+                    (0, self.params.propagation_delay_us)
+                } else {
+                    (r, 0)
+                }
+            }
+            ConsistencyLevel::Eventual | ConsistencyLevel::Release => (self.pick_replica(), 0),
+        };
+        let slot = self.replicas[replica].get(key);
+        let version = slot.map(|v| v.version).unwrap_or(0);
+        let staleness = primary_version.saturating_sub(version);
+        if staleness > 0 {
+            self.stats.stale_reads += 1;
+        }
+        let latency = self.params.read_latency_us + extra_latency;
+        self.stats.read_latency_us += latency;
+        ReadResult {
+            value: slot.map(|v| v.value.clone()),
+            version,
+            latency_us: latency,
+            staleness,
+        }
+    }
+
+    fn pick_replica(&mut self) -> usize {
+        let r = self.read_cursor % self.replicas.len();
+        self.read_cursor = self.read_cursor.wrapping_add(1);
+        r
+    }
+
+    /// Simulates losing `replica` (its contents vanish); a later
+    /// [`ReplicatedStore::propagate`] plus reads repopulate it from the
+    /// primary's in-flight log only for keys still in flight, so the
+    /// harness should re-replicate via [`ReplicatedStore::rebuild_replica`].
+    pub fn fail_replica(&mut self, replica: usize) -> Result<(), StoreError> {
+        if replica == 0 || replica >= self.replicas.len() {
+            return Err(StoreError::BadReplica(replica));
+        }
+        self.replicas[replica].clear();
+        Ok(())
+    }
+
+    /// Rebuilds a failed replica by full copy from the primary,
+    /// returning the number of keys copied.
+    pub fn rebuild_replica(&mut self, replica: usize) -> Result<usize, StoreError> {
+        if replica == 0 || replica >= self.replicas.len() {
+            return Err(StoreError::BadReplica(replica));
+        }
+        let snapshot = self.replicas[0].clone();
+        let n = snapshot.len();
+        self.replicas[replica] = snapshot;
+        Ok(n)
+    }
+
+    /// Whether any data survives the loss of `failed` replicas
+    /// (durability check: data survives while at least one replica
+    /// remains).
+    pub fn survives(&self, failed: u32) -> bool {
+        failed < self.replication()
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    /// Direct version inspection for tests: the version of `key` at
+    /// `replica`.
+    pub fn version_at(&self, replica: usize, key: &str) -> Option<u64> {
+        self.replicas
+            .get(replica)
+            .and_then(|r| r.get(key))
+            .map(|v| v.version)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(n: u32, level: ConsistencyLevel) -> ReplicatedStore {
+        ReplicatedStore::new(n, level, ReplicationParams::default()).unwrap()
+    }
+
+    #[test]
+    fn zero_replication_rejected() {
+        assert_eq!(
+            ReplicatedStore::new(0, ConsistencyLevel::Eventual, ReplicationParams::default()).err(),
+            Some(StoreError::NoReplicas)
+        );
+    }
+
+    #[test]
+    fn linearizable_reads_always_fresh() {
+        let mut s = store(3, ConsistencyLevel::Linearizable);
+        for i in 0..10 {
+            s.write("k", format!("v{i}").as_bytes());
+            let r = s.read("k");
+            assert_eq!(r.staleness, 0);
+            assert_eq!(r.value.as_deref(), Some(format!("v{i}").as_bytes()));
+        }
+        assert_eq!(s.stats().stale_reads, 0);
+    }
+
+    #[test]
+    fn sequential_reads_fresh() {
+        let mut s = store(3, ConsistencyLevel::Sequential);
+        s.write("k", b"v1");
+        let r = s.read("k");
+        assert_eq!(r.staleness, 0);
+    }
+
+    #[test]
+    fn eventual_reads_can_be_stale_until_propagation() {
+        let mut s = store(3, ConsistencyLevel::Eventual);
+        s.write("k", b"v1");
+        // Round-robin over three replicas: at least one read in the next
+        // three hits a lagging replica.
+        let mut max_staleness = 0;
+        for _ in 0..3 {
+            max_staleness = max_staleness.max(s.read("k").staleness);
+        }
+        assert!(
+            max_staleness > 0,
+            "async replication must lag before propagate"
+        );
+        s.propagate();
+        for _ in 0..3 {
+            assert_eq!(s.read("k").staleness, 0);
+        }
+    }
+
+    #[test]
+    fn single_replica_never_stale() {
+        let mut s = store(1, ConsistencyLevel::Eventual);
+        s.write("k", b"v");
+        for _ in 0..5 {
+            assert_eq!(s.read("k").staleness, 0);
+        }
+    }
+
+    #[test]
+    fn write_latency_grows_with_strictness() {
+        let mut eventual = store(3, ConsistencyLevel::Eventual);
+        let mut sequential = store(3, ConsistencyLevel::Sequential);
+        let mut linearizable = store(3, ConsistencyLevel::Linearizable);
+        let le = eventual.write("k", b"v");
+        let ls = sequential.write("k", b"v");
+        let ll = linearizable.write("k", b"v");
+        assert!(le <= ls, "eventual {le} vs sequential {ls}");
+        assert!(ls <= ll, "sequential {ls} vs linearizable {ll}");
+    }
+
+    #[test]
+    fn write_latency_grows_with_replication_under_linearizable() {
+        let mut r1 = store(1, ConsistencyLevel::Linearizable);
+        let mut r3 = store(3, ConsistencyLevel::Linearizable);
+        assert!(r1.write("k", b"v") < r3.write("k", b"v"));
+    }
+
+    #[test]
+    fn release_buffers_until_release() {
+        let mut s = store(2, ConsistencyLevel::Release);
+        s.write("k", b"v1");
+        // Not visible anywhere yet (not even the primary).
+        assert_eq!(s.read("k").value, None);
+        let batch_latency = s.release();
+        assert!(batch_latency > 0);
+        s.propagate();
+        assert_eq!(s.read("k").value.as_deref(), Some(b"v1".as_ref()));
+    }
+
+    #[test]
+    fn release_amortizes_batches() {
+        let mut s = store(2, ConsistencyLevel::Release);
+        for i in 0..100 {
+            s.write(&format!("k{i}"), b"v");
+        }
+        let batch = s.release();
+        let mut seq = store(2, ConsistencyLevel::Sequential);
+        let mut individual = 0;
+        for i in 0..100 {
+            individual += seq.write(&format!("k{i}"), b"v");
+        }
+        assert!(
+            batch * 10 < individual,
+            "batched release ({batch}) should be far cheaper than {individual}"
+        );
+    }
+
+    #[test]
+    fn causal_reads_wait_for_dependencies() {
+        let mut s = store(3, ConsistencyLevel::Causal);
+        s.write("k", b"v1");
+        // Any read either hits a fresh replica cheaply or pays the
+        // dependency wait and observes fresh data.
+        for _ in 0..6 {
+            let r = s.read("k");
+            assert_eq!(r.staleness, 0, "causal read must not expose missing prefix");
+        }
+    }
+
+    #[test]
+    fn overwrites_advance_versions() {
+        let mut s = store(2, ConsistencyLevel::Sequential);
+        s.write("k", b"a");
+        s.write("k", b"b");
+        let r = s.read("k");
+        assert_eq!(r.version, 2);
+        assert_eq!(r.value.as_deref(), Some(b"b".as_ref()));
+    }
+
+    #[test]
+    fn missing_key_reads_none() {
+        let mut s = store(2, ConsistencyLevel::Sequential);
+        let r = s.read("ghost");
+        assert_eq!(r.value, None);
+        assert_eq!(r.version, 0);
+        assert_eq!(r.staleness, 0);
+    }
+
+    #[test]
+    fn replica_failure_and_rebuild() {
+        let mut s = store(3, ConsistencyLevel::Linearizable);
+        for i in 0..10 {
+            s.write(&format!("k{i}"), b"v");
+        }
+        s.fail_replica(2).unwrap();
+        assert_eq!(s.version_at(2, "k0"), None);
+        let copied = s.rebuild_replica(2).unwrap();
+        assert_eq!(copied, 10);
+        assert_eq!(s.version_at(2, "k0"), Some(1));
+        assert!(s.fail_replica(0).is_err(), "primary cannot be failed here");
+        assert!(s.fail_replica(9).is_err());
+    }
+
+    #[test]
+    fn survivability_matches_replication() {
+        let s = store(3, ConsistencyLevel::Eventual);
+        assert!(s.survives(2));
+        assert!(!s.survives(3));
+        let s1 = store(1, ConsistencyLevel::Eventual);
+        assert!(!s1.survives(1));
+    }
+
+    #[test]
+    fn in_network_writes_flat_in_replica_count() {
+        let mut host3 = ReplicatedStore::new(
+            3,
+            ConsistencyLevel::Linearizable,
+            ReplicationParams::default(),
+        )
+        .unwrap();
+        let mut net3 = ReplicatedStore::new(
+            3,
+            ConsistencyLevel::Linearizable,
+            ReplicationParams::in_network(),
+        )
+        .unwrap();
+        let mut net1 = ReplicatedStore::new(
+            1,
+            ConsistencyLevel::Linearizable,
+            ReplicationParams::in_network(),
+        )
+        .unwrap();
+        let host_lat = host3.write("k", b"v");
+        let net_lat3 = net3.write("k", b"v");
+        let net_lat1 = net1.write("k", b"v");
+        assert!(net_lat3 < host_lat, "switch fan-out beats host fan-out");
+        assert_eq!(net_lat3, net_lat1, "in-network cost is replica-count-flat");
+    }
+
+    #[test]
+    fn in_network_preserves_consistency() {
+        let mut s = ReplicatedStore::new(
+            3,
+            ConsistencyLevel::Sequential,
+            ReplicationParams::in_network(),
+        )
+        .unwrap();
+        for i in 0..20u64 {
+            s.write("k", &i.to_le_bytes());
+            assert_eq!(s.read("k").staleness, 0);
+        }
+        assert_eq!(s.stats().stale_reads, 0);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut s = store(2, ConsistencyLevel::Sequential);
+        s.write("k", b"v");
+        s.read("k");
+        s.read("k");
+        let st = s.stats();
+        assert_eq!(st.writes, 1);
+        assert_eq!(st.reads, 2);
+        assert!(st.mean_write_latency_us() > 0.0);
+        assert!(st.mean_read_latency_us() > 0.0);
+    }
+}

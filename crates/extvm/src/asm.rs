@@ -1,0 +1,370 @@
+//! A line-oriented assembler for extension programs.
+//!
+//! Syntax: one instruction per line; `;` or `#` starts a comment;
+//! `label:` defines a jump target. Mnemonics are lower-case; immediates
+//! are decimal (optionally negative).
+//!
+//! ```text
+//! ; score = 100 - 2 * distance
+//!     push 100
+//!     arg 0
+//!     push 2
+//!     mul
+//!     sub
+//!     ret
+//! ```
+
+use crate::isa::{Instr, Program};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Assembly errors, with 1-based line numbers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// Unknown mnemonic.
+    UnknownInstr {
+        /// Line number.
+        line: usize,
+        /// The offending word.
+        word: String,
+    },
+    /// An operand failed to parse or was missing.
+    BadOperand {
+        /// Line number.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// A jump references an undefined label.
+    UnknownLabel {
+        /// Line number.
+        line: usize,
+        /// The label.
+        label: String,
+    },
+    /// A label was defined twice.
+    DuplicateLabel {
+        /// Line number of the second definition.
+        line: usize,
+        /// The label.
+        label: String,
+    },
+    /// The assembled program failed static validation.
+    Invalid(String),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnknownInstr { line, word } => {
+                write!(f, "line {line}: unknown instruction `{word}`")
+            }
+            AsmError::BadOperand { line, message } => write!(f, "line {line}: {message}"),
+            AsmError::UnknownLabel { line, label } => {
+                write!(f, "line {line}: unknown label `{label}`")
+            }
+            AsmError::DuplicateLabel { line, label } => {
+                write!(f, "line {line}: duplicate label `{label}`")
+            }
+            AsmError::Invalid(m) => write!(f, "invalid program: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+enum PendingInstr {
+    Done(Instr),
+    Jump {
+        kind: JumpKind,
+        label: String,
+        line: usize,
+    },
+}
+
+enum JumpKind {
+    Jmp,
+    Jz,
+    Jnz,
+}
+
+/// Assembles source text into a validated [`Program`].
+pub fn assemble(src: &str) -> Result<Program, AsmError> {
+    let mut labels: BTreeMap<String, u32> = BTreeMap::new();
+    let mut pending: Vec<PendingInstr> = Vec::new();
+
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = lineno + 1;
+        let code = raw.split([';', '#']).next().unwrap_or("").trim();
+        if code.is_empty() {
+            continue;
+        }
+        // Possibly several `label:` prefixes before an instruction.
+        let mut rest = code;
+        while let Some(colon) = rest.find(':') {
+            let (label, tail) = rest.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                break;
+            }
+            if labels
+                .insert(label.to_string(), pending.len() as u32)
+                .is_some()
+            {
+                return Err(AsmError::DuplicateLabel {
+                    line,
+                    label: label.to_string(),
+                });
+            }
+            rest = tail[1..].trim();
+        }
+        if rest.is_empty() {
+            continue;
+        }
+        let mut words = rest.split_whitespace();
+        let mnemonic = words.next().expect("non-empty");
+        let operand = words.next();
+        if words.next().is_some() {
+            return Err(AsmError::BadOperand {
+                line,
+                message: "too many operands".into(),
+            });
+        }
+
+        let need_i64 = |op: Option<&str>| -> Result<i64, AsmError> {
+            op.ok_or_else(|| AsmError::BadOperand {
+                line,
+                message: format!("`{mnemonic}` needs an operand"),
+            })?
+            .parse()
+            .map_err(|_| AsmError::BadOperand {
+                line,
+                message: format!("bad integer operand for `{mnemonic}`"),
+            })
+        };
+        let need_u8 = |op: Option<&str>| -> Result<u8, AsmError> {
+            op.ok_or_else(|| AsmError::BadOperand {
+                line,
+                message: format!("`{mnemonic}` needs an operand"),
+            })?
+            .parse()
+            .map_err(|_| AsmError::BadOperand {
+                line,
+                message: format!("bad index operand for `{mnemonic}`"),
+            })
+        };
+        let need_label = |op: Option<&str>| -> Result<String, AsmError> {
+            op.map(str::to_string).ok_or_else(|| AsmError::BadOperand {
+                line,
+                message: format!("`{mnemonic}` needs a label"),
+            })
+        };
+
+        let instr = match mnemonic {
+            "push" => PendingInstr::Done(Instr::Push(need_i64(operand)?)),
+            "pop" => PendingInstr::Done(Instr::Pop),
+            "dup" => PendingInstr::Done(Instr::Dup),
+            "swap" => PendingInstr::Done(Instr::Swap),
+            "arg" => PendingInstr::Done(Instr::Arg(need_u8(operand)?)),
+            "add" => PendingInstr::Done(Instr::Add),
+            "sub" => PendingInstr::Done(Instr::Sub),
+            "mul" => PendingInstr::Done(Instr::Mul),
+            "div" => PendingInstr::Done(Instr::Div),
+            "mod" => PendingInstr::Done(Instr::Mod),
+            "neg" => PendingInstr::Done(Instr::Neg),
+            "min" => PendingInstr::Done(Instr::Min),
+            "max" => PendingInstr::Done(Instr::Max),
+            "eq" => PendingInstr::Done(Instr::Eq),
+            "ne" => PendingInstr::Done(Instr::Ne),
+            "lt" => PendingInstr::Done(Instr::Lt),
+            "le" => PendingInstr::Done(Instr::Le),
+            "gt" => PendingInstr::Done(Instr::Gt),
+            "ge" => PendingInstr::Done(Instr::Ge),
+            "and" => PendingInstr::Done(Instr::And),
+            "or" => PendingInstr::Done(Instr::Or),
+            "not" => PendingInstr::Done(Instr::Not),
+            "jmp" => PendingInstr::Jump {
+                kind: JumpKind::Jmp,
+                label: need_label(operand)?,
+                line,
+            },
+            "jz" => PendingInstr::Jump {
+                kind: JumpKind::Jz,
+                label: need_label(operand)?,
+                line,
+            },
+            "jnz" => PendingInstr::Jump {
+                kind: JumpKind::Jnz,
+                label: need_label(operand)?,
+                line,
+            },
+            "load" => PendingInstr::Done(Instr::Load(need_u8(operand)?)),
+            "store" => PendingInstr::Done(Instr::Store(need_u8(operand)?)),
+            "memload" => PendingInstr::Done(Instr::MemLoad),
+            "memstore" => PendingInstr::Done(Instr::MemStore),
+            "hostcall" => {
+                // hostcall idx.argc, e.g. `hostcall 2.1`.
+                let op = operand.ok_or_else(|| AsmError::BadOperand {
+                    line,
+                    message: "`hostcall` needs idx.argc".into(),
+                })?;
+                let (idx_s, argc_s) = op.split_once('.').ok_or_else(|| AsmError::BadOperand {
+                    line,
+                    message: "`hostcall` operand must be idx.argc".into(),
+                })?;
+                let idx: u8 = idx_s.parse().map_err(|_| AsmError::BadOperand {
+                    line,
+                    message: "bad hostcall index".into(),
+                })?;
+                let argc: u8 = argc_s.parse().map_err(|_| AsmError::BadOperand {
+                    line,
+                    message: "bad hostcall argc".into(),
+                })?;
+                PendingInstr::Done(Instr::HostCall { idx, argc })
+            }
+            "ret" => PendingInstr::Done(Instr::Ret),
+            other => {
+                return Err(AsmError::UnknownInstr {
+                    line,
+                    word: other.to_string(),
+                })
+            }
+        };
+        pending.push(instr);
+    }
+
+    let mut instrs = Vec::with_capacity(pending.len());
+    for p in pending {
+        match p {
+            PendingInstr::Done(i) => instrs.push(i),
+            PendingInstr::Jump { kind, label, line } => {
+                let target = *labels.get(&label).ok_or(AsmError::UnknownLabel {
+                    line,
+                    label: label.clone(),
+                })?;
+                instrs.push(match kind {
+                    JumpKind::Jmp => Instr::Jmp(target),
+                    JumpKind::Jz => Instr::Jz(target),
+                    JumpKind::Jnz => Instr::Jnz(target),
+                });
+            }
+        }
+    }
+    Program::new(instrs).map_err(|e| AsmError::Invalid(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::{NullHost, Vm, VmLimits};
+
+    fn eval(src: &str, args: &[i64]) -> i64 {
+        let p = assemble(src).unwrap();
+        Vm::new(VmLimits::default())
+            .run(&p, args, &mut NullHost)
+            .unwrap()
+    }
+
+    #[test]
+    fn simple_expression() {
+        assert_eq!(eval("push 2\npush 3\nadd\nret", &[]), 5);
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let src = "
+            ; compute 6*7
+            push 6   # six
+            push 7
+            mul
+            ret
+        ";
+        assert_eq!(eval(src, &[]), 42);
+    }
+
+    #[test]
+    fn labels_and_loops() {
+        // sum 1..=n.
+        let src = "
+                arg 0
+                store 1
+            loop:
+                load 1
+                jz done
+                load 0
+                load 1
+                add
+                store 0
+                load 1
+                push 1
+                sub
+                store 1
+                jmp loop
+            done:
+                load 0
+                ret
+        ";
+        assert_eq!(eval(src, &[10]), 55);
+    }
+
+    #[test]
+    fn forward_references_resolve() {
+        let src = "
+                arg 0
+                jnz yes
+                push 0
+                ret
+            yes:
+                push 1
+                ret
+        ";
+        assert_eq!(eval(src, &[5]), 1);
+        assert_eq!(eval(src, &[0]), 0);
+    }
+
+    #[test]
+    fn hostcall_syntax() {
+        let p = assemble("push 1\npush 2\nhostcall 3.2\nret").unwrap();
+        assert_eq!(p.instrs()[2], Instr::HostCall { idx: 3, argc: 2 });
+    }
+
+    #[test]
+    fn unknown_instruction_reported_with_line() {
+        let err = assemble("push 1\nfly\nret").unwrap_err();
+        assert!(matches!(err, AsmError::UnknownInstr { line: 2, .. }));
+    }
+
+    #[test]
+    fn unknown_label_reported() {
+        let err = assemble("jmp nowhere\nret").unwrap_err();
+        assert!(matches!(err, AsmError::UnknownLabel { .. }));
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let err = assemble("a:\npush 1\na:\nret").unwrap_err();
+        assert!(matches!(err, AsmError::DuplicateLabel { .. }));
+    }
+
+    #[test]
+    fn missing_operand_rejected() {
+        assert!(matches!(
+            assemble("push\nret"),
+            Err(AsmError::BadOperand { line: 1, .. })
+        ));
+        assert!(matches!(
+            assemble("hostcall 3\nret"),
+            Err(AsmError::BadOperand { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_source_invalid() {
+        assert!(matches!(assemble("; nothing"), Err(AsmError::Invalid(_))));
+    }
+
+    #[test]
+    fn label_on_same_line_as_instr() {
+        assert_eq!(eval("start: push 7\nret", &[]), 7);
+    }
+}

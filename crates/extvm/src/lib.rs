@@ -1,0 +1,51 @@
+//! # udc-extvm — the tenant-extension virtual machine
+//!
+//! UDC's defining property is that *users* program the control plane:
+//! they define how their modules are placed, admitted, and scaled
+//! (Design Principles 1–2). Running untrusted tenant policy code inside
+//! the provider's control plane requires a sandbox with three hard
+//! guarantees:
+//!
+//! 1. **Termination** — every execution is bounded by a gas budget;
+//! 2. **Memory safety** — a fixed-size value stack and linear memory,
+//!    bounds-checked on every access;
+//! 3. **No ambient authority** — the only view of the world is a set of
+//!    host functions the embedder explicitly provides.
+//!
+//! The VM is a small stack machine with a 64-bit integer word, an
+//! assembler for a readable text format, and a [`Host`] trait the
+//! scheduler implements to expose policy context (device capacities,
+//! racks, module demands). This substitutes for the WASM/eBPF runtimes
+//! the paper's ecosystem would use (see DESIGN.md §5): what matters for
+//! the reproduction is safe, bounded, embedder-mediated execution of
+//! tenant code, which this VM provides with zero heavyweight
+//! dependencies.
+//!
+//! # Examples
+//!
+//! ```
+//! use udc_extvm::{assemble, Vm, VmLimits, NullHost};
+//!
+//! // A policy that scores a candidate as 100 - 2*x (x = arg 0).
+//! let program = assemble(r#"
+//!     push 100
+//!     arg 0
+//!     push 2
+//!     mul
+//!     sub
+//!     ret
+//! "#).unwrap();
+//! let mut vm = Vm::new(VmLimits::default());
+//! let score = vm.run(&program, &[7], &mut NullHost).unwrap();
+//! assert_eq!(score, 86);
+//! ```
+
+pub mod asm;
+pub mod isa;
+pub mod policies;
+pub mod vm;
+
+pub use asm::{assemble, AsmError};
+pub use isa::{Instr, Program};
+pub use policies::{BEST_FIT, HALF_EMPTY_ONLY, RACK_AFFINITY, WORST_FIT};
+pub use vm::{Host, NullHost, Vm, VmError, VmLimits};

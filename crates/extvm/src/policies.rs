@@ -1,0 +1,143 @@
+//! A small library of ready-made tenant policies, in assembly source.
+//!
+//! These are the "starter pack" a provider would document for tenants:
+//! each returns a score for one placement candidate given the standard
+//! argument layout the scheduler passes
+//! (`arg 0` = free units, `arg 1` = device capacity, `arg 2` = device
+//! rack, `arg 3` = preferred rack or −1, `arg 4` = demand).
+
+use crate::asm::{assemble, AsmError};
+use crate::isa::Program;
+
+/// Best-fit: prefer the snuggest device (the provider default, expressed
+/// as a tenant program).
+pub const BEST_FIT: &str = "
+    ; score = capacity - (free - demand)  (less leftover is better)
+    arg 1
+    arg 0
+    arg 4
+    sub
+    sub
+    ret
+";
+
+/// Worst-fit: prefer the emptiest device (noisy-neighbour avoidance).
+pub const WORST_FIT: &str = "
+    ; score = free - demand
+    arg 0
+    arg 4
+    sub
+    ret
+";
+
+/// Rack affinity: a large bonus for the hinted rack, best-fit otherwise.
+pub const RACK_AFFINITY: &str = "
+    ; if preferred < 0 { best-fit } else { bonus for matching rack }
+        arg 3
+        push 0
+        lt
+        jnz nopref
+        arg 2
+        arg 3
+        eq
+        push 100000
+        mul             ; 100000 if rack matches, else 0
+        arg 1
+        arg 0
+        arg 4
+        sub
+        sub
+        add
+        ret
+    nopref:
+        arg 1
+        arg 0
+        arg 4
+        sub
+        sub
+        ret
+";
+
+/// Packing-phobic: veto any device that is already more than half full
+/// (tail-latency isolation), best-fit among the rest.
+pub const HALF_EMPTY_ONLY: &str = "
+    ; if free * 2 < capacity { veto } else { best-fit }
+        arg 0
+        push 2
+        mul
+        arg 1
+        lt
+        jnz veto
+        arg 1
+        arg 0
+        arg 4
+        sub
+        sub
+        ret
+    veto:
+        push -1
+        ret
+";
+
+/// Assembles one of the canned policies.
+pub fn canned(source: &str) -> Result<Program, AsmError> {
+    assemble(source)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::{NullHost, Vm, VmLimits};
+
+    fn score(
+        src: &str,
+        free: i64,
+        cap: i64,
+        rack: i64,
+        pref: i64,
+        demand: i64,
+    ) -> Result<i64, crate::vm::VmError> {
+        let p = canned(src).expect("canned policy assembles");
+        Vm::new(VmLimits::default()).run(&p, &[free, cap, rack, pref, demand], &mut NullHost)
+    }
+
+    #[test]
+    fn all_canned_policies_assemble() {
+        for src in [BEST_FIT, WORST_FIT, RACK_AFFINITY, HALF_EMPTY_ONLY] {
+            canned(src).unwrap();
+        }
+    }
+
+    #[test]
+    fn best_fit_prefers_snug() {
+        let snug = score(BEST_FIT, 5, 64, 0, -1, 4).unwrap();
+        let loose = score(BEST_FIT, 60, 64, 0, -1, 4).unwrap();
+        assert!(snug > loose);
+    }
+
+    #[test]
+    fn worst_fit_prefers_empty() {
+        let snug = score(WORST_FIT, 5, 64, 0, -1, 4).unwrap();
+        let loose = score(WORST_FIT, 60, 64, 0, -1, 4).unwrap();
+        assert!(loose > snug);
+    }
+
+    #[test]
+    fn rack_affinity_bonus() {
+        let matching = score(RACK_AFFINITY, 32, 64, 3, 3, 4).unwrap();
+        let elsewhere = score(RACK_AFFINITY, 32, 64, 5, 3, 4).unwrap();
+        assert!(matching > elsewhere + 50_000);
+        // With no preference it degrades to best-fit.
+        let a = score(RACK_AFFINITY, 5, 64, 0, -1, 4).unwrap();
+        let b = score(RACK_AFFINITY, 60, 64, 0, -1, 4).unwrap();
+        assert!(a > b);
+    }
+
+    #[test]
+    fn half_empty_only_vetoes_crowded() {
+        let crowded = score(HALF_EMPTY_ONLY, 10, 64, 0, -1, 4).unwrap();
+        assert!(crowded < 0, "crowded device vetoed (negative score)");
+        let empty = score(HALF_EMPTY_ONLY, 60, 64, 0, -1, 4).unwrap();
+        assert!(empty >= 0);
+    }
+}

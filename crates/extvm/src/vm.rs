@@ -1,0 +1,487 @@
+//! The interpreter: gas-metered, memory-safe, panic-free.
+
+use crate::isa::{Instr, Program};
+use std::fmt;
+
+/// Resource limits for one execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VmLimits {
+    /// Maximum instructions executed (gas). Hostile infinite loops hit
+    /// this bound and trap.
+    pub max_gas: u64,
+    /// Maximum operand-stack depth.
+    pub max_stack: usize,
+    /// Local variable slots available.
+    pub locals: usize,
+    /// Linear-memory cells available.
+    pub memory_cells: usize,
+}
+
+impl Default for VmLimits {
+    fn default() -> Self {
+        Self {
+            max_gas: 100_000,
+            max_stack: 256,
+            locals: 64,
+            memory_cells: 1024,
+        }
+    }
+}
+
+/// Trap reasons. Every failure mode is a value, never a panic — hostile
+/// extensions cannot take down the control plane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmError {
+    /// Gas exhausted: the program ran too long.
+    OutOfGas,
+    /// Operand-stack overflow.
+    StackOverflow,
+    /// Pop/peek on an empty (or too-shallow) stack.
+    StackUnderflow,
+    /// Division or remainder by zero (or i64::MIN / -1).
+    DivideByZero,
+    /// Local-slot index out of range.
+    BadLocal(u8),
+    /// Linear-memory address out of range.
+    BadAddress(i64),
+    /// Invocation-argument index out of range.
+    BadArg(u8),
+    /// The host function index is not provided by the embedder.
+    UnknownHostFn(u8),
+    /// The host function itself failed.
+    HostError(String),
+    /// Execution fell off the end of the program without `ret`.
+    NoReturn,
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::OutOfGas => f.write_str("gas exhausted"),
+            VmError::StackOverflow => f.write_str("stack overflow"),
+            VmError::StackUnderflow => f.write_str("stack underflow"),
+            VmError::DivideByZero => f.write_str("division by zero"),
+            VmError::BadLocal(i) => write!(f, "local slot {i} out of range"),
+            VmError::BadAddress(a) => write!(f, "memory address {a} out of range"),
+            VmError::BadArg(i) => write!(f, "argument {i} out of range"),
+            VmError::UnknownHostFn(i) => write!(f, "unknown host function {i}"),
+            VmError::HostError(m) => write!(f, "host error: {m}"),
+            VmError::NoReturn => f.write_str("program ended without ret"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// The embedder-provided view of the world.
+///
+/// The scheduler implements this to expose policy context (device free
+/// capacity, rack ids, module demand, ...). Host functions receive the
+/// popped arguments oldest-first and return a single value.
+pub trait Host {
+    /// Invokes host function `idx` with `args`.
+    fn call(&mut self, idx: u8, args: &[i64]) -> Result<i64, String>;
+}
+
+/// A host providing no functions: any `hostcall` traps.
+pub struct NullHost;
+
+impl Host for NullHost {
+    fn call(&mut self, idx: u8, _args: &[i64]) -> Result<i64, String> {
+        Err(format!("no host function {idx}"))
+    }
+}
+
+/// The virtual machine. Reusable across runs; each [`Vm::run`] starts
+/// from a clean state.
+#[derive(Debug, Clone)]
+pub struct Vm {
+    limits: VmLimits,
+    /// Gas consumed by the most recent run (telemetry for E14).
+    last_gas_used: u64,
+}
+
+impl Vm {
+    /// Creates a VM with the given limits.
+    pub fn new(limits: VmLimits) -> Self {
+        Self {
+            limits,
+            last_gas_used: 0,
+        }
+    }
+
+    /// Gas consumed by the most recent `run`.
+    pub fn last_gas_used(&self) -> u64 {
+        self.last_gas_used
+    }
+
+    /// Executes `program` with invocation `args` against `host`,
+    /// returning the program's result value.
+    pub fn run(
+        &mut self,
+        program: &Program,
+        args: &[i64],
+        host: &mut dyn Host,
+    ) -> Result<i64, VmError> {
+        let instrs = program.instrs();
+        let mut stack: Vec<i64> = Vec::with_capacity(self.limits.max_stack.min(64));
+        let mut locals = vec![0i64; self.limits.locals];
+        let mut memory = vec![0i64; self.limits.memory_cells];
+        let mut pc: usize = 0;
+        let mut gas: u64 = 0;
+
+        macro_rules! pop {
+            () => {
+                stack.pop().ok_or(VmError::StackUnderflow)?
+            };
+        }
+        macro_rules! push {
+            ($v:expr) => {{
+                if stack.len() >= self.limits.max_stack {
+                    self.last_gas_used = gas;
+                    return Err(VmError::StackOverflow);
+                }
+                stack.push($v);
+            }};
+        }
+        macro_rules! binop {
+            ($f:expr) => {{
+                let b = pop!();
+                let a = pop!();
+                push!($f(a, b));
+            }};
+        }
+
+        while pc < instrs.len() {
+            gas += 1;
+            if gas > self.limits.max_gas {
+                self.last_gas_used = gas;
+                return Err(VmError::OutOfGas);
+            }
+            let instr = instrs[pc];
+            pc += 1;
+            match instr {
+                Instr::Push(v) => push!(v),
+                Instr::Pop => {
+                    pop!();
+                }
+                Instr::Dup => {
+                    let v = *stack.last().ok_or(VmError::StackUnderflow)?;
+                    push!(v);
+                }
+                Instr::Swap => {
+                    let b = pop!();
+                    let a = pop!();
+                    push!(b);
+                    push!(a);
+                }
+                Instr::Arg(i) => {
+                    let v = *args.get(i as usize).ok_or(VmError::BadArg(i))?;
+                    push!(v);
+                }
+                Instr::Add => binop!(|a: i64, b: i64| a.wrapping_add(b)),
+                Instr::Sub => binop!(|a: i64, b: i64| a.wrapping_sub(b)),
+                Instr::Mul => binop!(|a: i64, b: i64| a.wrapping_mul(b)),
+                Instr::Div => {
+                    let b = pop!();
+                    let a = pop!();
+                    let v = a.checked_div(b).ok_or(VmError::DivideByZero)?;
+                    push!(v);
+                }
+                Instr::Mod => {
+                    let b = pop!();
+                    let a = pop!();
+                    let v = a.checked_rem(b).ok_or(VmError::DivideByZero)?;
+                    push!(v);
+                }
+                Instr::Neg => {
+                    let a = pop!();
+                    push!(a.wrapping_neg());
+                }
+                Instr::Min => binop!(|a: i64, b: i64| a.min(b)),
+                Instr::Max => binop!(|a: i64, b: i64| a.max(b)),
+                Instr::Eq => binop!(|a, b| i64::from(a == b)),
+                Instr::Ne => binop!(|a, b| i64::from(a != b)),
+                Instr::Lt => binop!(|a, b| i64::from(a < b)),
+                Instr::Le => binop!(|a, b| i64::from(a <= b)),
+                Instr::Gt => binop!(|a, b| i64::from(a > b)),
+                Instr::Ge => binop!(|a, b| i64::from(a >= b)),
+                Instr::And => binop!(|a, b| i64::from(a != 0 && b != 0)),
+                Instr::Or => binop!(|a, b| i64::from(a != 0 || b != 0)),
+                Instr::Not => {
+                    let a = pop!();
+                    push!(i64::from(a == 0));
+                }
+                Instr::Jmp(t) => pc = t as usize,
+                Instr::Jz(t) => {
+                    if pop!() == 0 {
+                        pc = t as usize;
+                    }
+                }
+                Instr::Jnz(t) => {
+                    if pop!() != 0 {
+                        pc = t as usize;
+                    }
+                }
+                Instr::Load(i) => {
+                    let v = *locals.get(i as usize).ok_or(VmError::BadLocal(i))?;
+                    push!(v);
+                }
+                Instr::Store(i) => {
+                    let v = pop!();
+                    *locals.get_mut(i as usize).ok_or(VmError::BadLocal(i))? = v;
+                }
+                Instr::MemLoad => {
+                    let addr = pop!();
+                    let v = usize::try_from(addr)
+                        .ok()
+                        .and_then(|a| memory.get(a).copied())
+                        .ok_or(VmError::BadAddress(addr))?;
+                    push!(v);
+                }
+                Instr::MemStore => {
+                    let value = pop!();
+                    let addr = pop!();
+                    let cell = usize::try_from(addr)
+                        .ok()
+                        .and_then(|a| memory.get_mut(a))
+                        .ok_or(VmError::BadAddress(addr))?;
+                    *cell = value;
+                }
+                Instr::HostCall { idx, argc } => {
+                    // Gas-charge host calls more heavily: crossing the
+                    // boundary is the expensive part.
+                    gas += 9;
+                    let argc = argc as usize;
+                    if stack.len() < argc {
+                        self.last_gas_used = gas;
+                        return Err(VmError::StackUnderflow);
+                    }
+                    let split = stack.len() - argc;
+                    let call_args: Vec<i64> = stack.split_off(split);
+                    match host.call(idx, &call_args) {
+                        Ok(v) => push!(v),
+                        Err(m) => {
+                            self.last_gas_used = gas;
+                            return Err(if m.starts_with("no host function") {
+                                VmError::UnknownHostFn(idx)
+                            } else {
+                                VmError::HostError(m)
+                            });
+                        }
+                    }
+                }
+                Instr::Ret => {
+                    self.last_gas_used = gas;
+                    return stack.pop().ok_or(VmError::StackUnderflow);
+                }
+            }
+        }
+        self.last_gas_used = gas;
+        Err(VmError::NoReturn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::Instr::*;
+
+    fn run(instrs: Vec<Instr>, args: &[i64]) -> Result<i64, VmError> {
+        let p = Program::new(instrs).unwrap();
+        Vm::new(VmLimits::default()).run(&p, args, &mut NullHost)
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(run(vec![Push(2), Push(3), Add, Ret], &[]), Ok(5));
+        assert_eq!(run(vec![Push(10), Push(3), Sub, Ret], &[]), Ok(7));
+        assert_eq!(run(vec![Push(6), Push(7), Mul, Ret], &[]), Ok(42));
+        assert_eq!(run(vec![Push(7), Push(2), Div, Ret], &[]), Ok(3));
+        assert_eq!(run(vec![Push(7), Push(2), Mod, Ret], &[]), Ok(1));
+        assert_eq!(run(vec![Push(5), Neg, Ret], &[]), Ok(-5));
+        assert_eq!(run(vec![Push(3), Push(9), Min, Ret], &[]), Ok(3));
+        assert_eq!(run(vec![Push(3), Push(9), Max, Ret], &[]), Ok(9));
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        assert_eq!(run(vec![Push(1), Push(1), Eq, Ret], &[]), Ok(1));
+        assert_eq!(run(vec![Push(1), Push(2), Lt, Ret], &[]), Ok(1));
+        assert_eq!(run(vec![Push(2), Push(1), Le, Ret], &[]), Ok(0));
+        assert_eq!(run(vec![Push(1), Push(0), And, Ret], &[]), Ok(0));
+        assert_eq!(run(vec![Push(1), Push(0), Or, Ret], &[]), Ok(1));
+        assert_eq!(run(vec![Push(0), Not, Ret], &[]), Ok(1));
+    }
+
+    #[test]
+    fn args_and_locals() {
+        assert_eq!(run(vec![Arg(0), Arg(1), Add, Ret], &[40, 2]), Ok(42));
+        assert_eq!(
+            run(vec![Push(9), Store(3), Load(3), Dup, Add, Ret], &[]),
+            Ok(18)
+        );
+        assert_eq!(run(vec![Arg(5), Ret], &[1]), Err(VmError::BadArg(5)));
+    }
+
+    #[test]
+    fn memory_bounds_checked() {
+        assert_eq!(
+            run(
+                vec![Push(0), Push(99), MemStore, Push(0), MemLoad, Ret],
+                &[]
+            ),
+            Ok(99)
+        );
+        assert_eq!(
+            run(vec![Push(-1), MemLoad, Ret], &[]),
+            Err(VmError::BadAddress(-1))
+        );
+        assert_eq!(
+            run(vec![Push(1 << 40), Push(0), MemStore, Push(0), Ret], &[]),
+            Err(VmError::BadAddress(1 << 40))
+        );
+    }
+
+    #[test]
+    fn infinite_loop_traps_on_gas() {
+        // 0: jmp 0.
+        let p = Program::new(vec![Jmp(0)]).unwrap();
+        let mut vm = Vm::new(VmLimits {
+            max_gas: 1_000,
+            ..Default::default()
+        });
+        assert_eq!(vm.run(&p, &[], &mut NullHost), Err(VmError::OutOfGas));
+        assert!(vm.last_gas_used() >= 1_000);
+    }
+
+    #[test]
+    fn stack_bomb_traps_on_overflow() {
+        // 0: push 1; 1: jmp 0 — grows the stack forever.
+        let p = Program::new(vec![Push(1), Jmp(0)]).unwrap();
+        let mut vm = Vm::new(VmLimits {
+            max_stack: 32,
+            ..Default::default()
+        });
+        assert_eq!(vm.run(&p, &[], &mut NullHost), Err(VmError::StackOverflow));
+    }
+
+    #[test]
+    fn underflow_trapped() {
+        assert_eq!(run(vec![Add, Ret], &[]), Err(VmError::StackUnderflow));
+        assert_eq!(run(vec![Ret], &[]), Err(VmError::StackUnderflow));
+        assert_eq!(run(vec![Pop, Ret], &[]), Err(VmError::StackUnderflow));
+    }
+
+    #[test]
+    fn divide_by_zero_trapped() {
+        assert_eq!(
+            run(vec![Push(1), Push(0), Div, Ret], &[]),
+            Err(VmError::DivideByZero)
+        );
+        assert_eq!(
+            run(vec![Push(1), Push(0), Mod, Ret], &[]),
+            Err(VmError::DivideByZero)
+        );
+        // i64::MIN / -1 overflows; checked_div catches it.
+        assert_eq!(
+            run(vec![Push(i64::MIN), Push(-1), Div, Ret], &[]),
+            Err(VmError::DivideByZero)
+        );
+    }
+
+    #[test]
+    fn no_return_trapped() {
+        assert_eq!(run(vec![Push(1)], &[]), Err(VmError::NoReturn));
+    }
+
+    #[test]
+    fn loops_compute() {
+        // sum 1..=n with n = arg0:
+        // local0 = acc, local1 = i.
+        // 0: arg0; 1: store 1        (i = n)
+        // 2: load 1; 3: jz 12        (while i != 0)
+        // 4: load 0; 5: load 1; 6: add; 7: store 0   (acc += i)
+        // 8: load 1; 9: push 1; 10: sub; 11: store 1 (i -= 1)
+        // -> loop is missing a jump back; insert jmp 2 and shift.
+        let p = Program::new(vec![
+            Arg(0),   // 0
+            Store(1), // 1
+            Load(1),  // 2
+            Jz(13),   // 3
+            Load(0),  // 4
+            Load(1),  // 5
+            Add,      // 6
+            Store(0), // 7
+            Load(1),  // 8
+            Push(1),  // 9
+            Sub,      // 10
+            Store(1), // 11
+            Jmp(2),   // 12
+            Load(0),  // 13
+            Ret,      // 14
+        ])
+        .unwrap();
+        let mut vm = Vm::new(VmLimits::default());
+        assert_eq!(vm.run(&p, &[10], &mut NullHost), Ok(55));
+        assert_eq!(vm.run(&p, &[0], &mut NullHost), Ok(0));
+        assert_eq!(vm.run(&p, &[100], &mut NullHost), Ok(5050));
+    }
+
+    #[test]
+    fn host_calls_work() {
+        struct Doubler;
+        impl Host for Doubler {
+            fn call(&mut self, idx: u8, args: &[i64]) -> Result<i64, String> {
+                match idx {
+                    0 => Ok(args.iter().sum::<i64>() * 2),
+                    _ => Err(format!("no host function {idx}")),
+                }
+            }
+        }
+        let p = Program::new(vec![Push(3), Push(4), HostCall { idx: 0, argc: 2 }, Ret]).unwrap();
+        let mut vm = Vm::new(VmLimits::default());
+        assert_eq!(vm.run(&p, &[], &mut Doubler), Ok(14));
+
+        let bad = Program::new(vec![HostCall { idx: 9, argc: 0 }, Ret]).unwrap();
+        assert_eq!(
+            vm.run(&bad, &[], &mut Doubler),
+            Err(VmError::UnknownHostFn(9))
+        );
+    }
+
+    #[test]
+    fn host_errors_propagate() {
+        struct Failing;
+        impl Host for Failing {
+            fn call(&mut self, _idx: u8, _args: &[i64]) -> Result<i64, String> {
+                Err("backend unavailable".to_string())
+            }
+        }
+        let p = Program::new(vec![HostCall { idx: 0, argc: 0 }, Ret]).unwrap();
+        let r = Vm::new(VmLimits::default()).run(&p, &[], &mut Failing);
+        assert!(matches!(r, Err(VmError::HostError(m)) if m.contains("backend")));
+    }
+
+    #[test]
+    fn runs_are_independent() {
+        // Locals and memory must not leak between runs.
+        let store = Program::new(vec![Push(0), Push(77), MemStore, Push(1), Ret]).unwrap();
+        let load = Program::new(vec![Push(0), MemLoad, Ret]).unwrap();
+        let mut vm = Vm::new(VmLimits::default());
+        assert_eq!(vm.run(&store, &[], &mut NullHost), Ok(1));
+        assert_eq!(
+            vm.run(&load, &[], &mut NullHost),
+            Ok(0),
+            "fresh memory per run"
+        );
+    }
+
+    #[test]
+    fn gas_accounting_reported() {
+        let p = Program::new(vec![Push(1), Push(2), Add, Ret]).unwrap();
+        let mut vm = Vm::new(VmLimits::default());
+        vm.run(&p, &[], &mut NullHost).unwrap();
+        assert_eq!(vm.last_gas_used(), 4);
+    }
+}

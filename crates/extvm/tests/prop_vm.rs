@@ -1,0 +1,128 @@
+//! Safety properties of the extension VM: arbitrary bytecode never
+//! panics, always terminates within the gas budget, and never observes
+//! state from a previous run.
+
+use proptest::prelude::*;
+use proptest::strategy::ValueTree;
+use udc_extvm::isa::{Instr, Program};
+use udc_extvm::{Host, NullHost, Vm, VmLimits};
+
+fn arb_instr(prog_len: u32) -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        any::<i64>().prop_map(Instr::Push),
+        Just(Instr::Pop),
+        Just(Instr::Dup),
+        Just(Instr::Swap),
+        (0u8..4).prop_map(Instr::Arg),
+        Just(Instr::Add),
+        Just(Instr::Sub),
+        Just(Instr::Mul),
+        Just(Instr::Div),
+        Just(Instr::Mod),
+        Just(Instr::Neg),
+        Just(Instr::Min),
+        Just(Instr::Max),
+        Just(Instr::Eq),
+        Just(Instr::Lt),
+        Just(Instr::Gt),
+        Just(Instr::And),
+        Just(Instr::Or),
+        Just(Instr::Not),
+        (0..prog_len).prop_map(Instr::Jmp),
+        (0..prog_len).prop_map(Instr::Jz),
+        (0..prog_len).prop_map(Instr::Jnz),
+        (0u8..255).prop_map(Instr::Load),
+        (0u8..255).prop_map(Instr::Store),
+        Just(Instr::MemLoad),
+        Just(Instr::MemStore),
+        (0u8..4, 0u8..4).prop_map(|(idx, argc)| Instr::HostCall { idx, argc }),
+        Just(Instr::Ret),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary (valid-jump) bytecode never panics and always
+    /// terminates, successfully or with a trap, within the gas budget.
+    #[test]
+    fn arbitrary_bytecode_is_safe(
+        len in 1u32..64,
+        seed_args in prop::collection::vec(any::<i64>(), 0..4),
+    ) {
+        // Build a program of exactly `len` instructions with jump targets
+        // inside range.
+        let strategy = prop::collection::vec(arb_instr(len), len as usize..=len as usize);
+        let mut runner = proptest::test_runner::TestRunner::deterministic();
+        let instrs = strategy.new_tree(&mut runner).unwrap().current();
+        let program = Program::new(instrs).unwrap();
+        let mut vm = Vm::new(VmLimits {
+            max_gas: 10_000,
+            ..Default::default()
+        });
+        // Must not panic; result may be Ok or any Err.
+        let _ = vm.run(&program, &seed_args, &mut NullHost);
+        prop_assert!(vm.last_gas_used() <= 10_000 + 10, "gas bound respected");
+    }
+
+    /// A hostile host (always erroring) cannot crash the VM.
+    #[test]
+    fn hostile_host_contained(len in 1u32..32) {
+        struct Hostile;
+        impl Host for Hostile {
+            fn call(&mut self, _idx: u8, _args: &[i64]) -> Result<i64, String> {
+                Err("boom".to_string())
+            }
+        }
+        let strategy = prop::collection::vec(arb_instr(len), len as usize..=len as usize);
+        let mut runner = proptest::test_runner::TestRunner::deterministic();
+        let instrs = strategy.new_tree(&mut runner).unwrap().current();
+        let program = Program::new(instrs).unwrap();
+        let _ = Vm::new(VmLimits::default()).run(&program, &[], &mut Hostile);
+    }
+
+    /// Deterministic: the same program and arguments produce the same
+    /// result and gas usage.
+    #[test]
+    fn execution_deterministic(
+        a in any::<i64>(),
+        b in any::<i64>(),
+    ) {
+        let program = Program::new(vec![
+            Instr::Arg(0),
+            Instr::Arg(1),
+            Instr::Add,
+            Instr::Arg(0),
+            Instr::Mul,
+            Instr::Ret,
+        ]).unwrap();
+        let mut vm1 = Vm::new(VmLimits::default());
+        let mut vm2 = Vm::new(VmLimits::default());
+        let r1 = vm1.run(&program, &[a, b], &mut NullHost);
+        let r2 = vm2.run(&program, &[a, b], &mut NullHost);
+        prop_assert_eq!(r1.clone(), r2);
+        prop_assert_eq!(vm1.last_gas_used(), vm2.last_gas_used());
+        prop_assert_eq!(r1, Ok(a.wrapping_add(b).wrapping_mul(a)));
+    }
+
+    /// Memory is zeroed between runs: no cross-tenant leakage through a
+    /// reused VM.
+    #[test]
+    fn no_state_leakage(value in 1i64..1000, addr in 0i64..1024) {
+        let store = Program::new(vec![
+            Instr::Push(addr),
+            Instr::Push(value),
+            Instr::MemStore,
+            Instr::Push(0),
+            Instr::Ret,
+        ]).unwrap();
+        let load = Program::new(vec![
+            Instr::Push(addr),
+            Instr::MemLoad,
+            Instr::Ret,
+        ]).unwrap();
+        let mut vm = Vm::new(VmLimits::default());
+        vm.run(&store, &[], &mut NullHost).unwrap();
+        prop_assert_eq!(vm.run(&load, &[], &mut NullHost), Ok(0));
+    }
+}

@@ -1,0 +1,159 @@
+//! Deterministic failure injection (§3.4).
+//!
+//! Experiments E8/E9 need device crashes at controlled times. A
+//! [`FailurePlan`] is generated from a seed and a crash rate, producing a
+//! schedule of crash/repair events that the datacenter applies as
+//! virtual time advances.
+
+use crate::clock::Micros;
+use crate::device::DeviceId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One scheduled failure event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FailureEvent {
+    /// When the event fires.
+    pub at_us: Micros,
+    /// The affected device.
+    pub device: DeviceId,
+    /// `true` = crash, `false` = repair.
+    pub crash: bool,
+}
+
+/// A deterministic schedule of crash and repair events.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FailurePlan {
+    events: Vec<FailureEvent>,
+    cursor: usize,
+}
+
+impl FailurePlan {
+    /// An empty plan (no failures).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Builds a plan from explicit events (sorted by time internally).
+    pub fn from_events(mut events: Vec<FailureEvent>) -> Self {
+        events.sort_by_key(|e| (e.at_us, e.device, e.crash));
+        Self { events, cursor: 0 }
+    }
+
+    /// Generates a random plan: each of `devices` crashes independently
+    /// with probability `crash_prob` within `horizon_us`, and is repaired
+    /// `repair_after_us` later. Deterministic per `seed`.
+    pub fn random(
+        devices: &[DeviceId],
+        crash_prob: f64,
+        horizon_us: Micros,
+        repair_after_us: Micros,
+        seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut events = Vec::new();
+        for &d in devices {
+            if rng.gen_bool(crash_prob.clamp(0.0, 1.0)) {
+                let at = rng.gen_range(0..horizon_us.max(1));
+                events.push(FailureEvent {
+                    at_us: at,
+                    device: d,
+                    crash: true,
+                });
+                events.push(FailureEvent {
+                    at_us: at.saturating_add(repair_after_us),
+                    device: d,
+                    crash: false,
+                });
+            }
+        }
+        Self::from_events(events)
+    }
+
+    /// Pops every event due at or before `now_us`, in order.
+    pub fn due(&mut self, now_us: Micros) -> Vec<FailureEvent> {
+        let mut out = Vec::new();
+        while self.cursor < self.events.len() && self.events[self.cursor].at_us <= now_us {
+            out.push(self.events[self.cursor]);
+            self.cursor += 1;
+        }
+        out
+    }
+
+    /// Time of the next pending event, if any.
+    pub fn next_at(&self) -> Option<Micros> {
+        self.events.get(self.cursor).map(|e| e.at_us)
+    }
+
+    /// Total number of events (fired and pending).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when the plan has no events at all.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_never_fires() {
+        let mut p = FailurePlan::none();
+        assert!(p.due(u64::MAX).is_empty());
+        assert_eq!(p.next_at(), None);
+    }
+
+    #[test]
+    fn events_fire_in_order_once() {
+        let mut p = FailurePlan::from_events(vec![
+            FailureEvent {
+                at_us: 200,
+                device: DeviceId(1),
+                crash: true,
+            },
+            FailureEvent {
+                at_us: 100,
+                device: DeviceId(0),
+                crash: true,
+            },
+        ]);
+        assert_eq!(p.next_at(), Some(100));
+        let first = p.due(150);
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].device, DeviceId(0));
+        let second = p.due(1_000);
+        assert_eq!(second.len(), 1);
+        assert!(p.due(u64::MAX).is_empty(), "events fire exactly once");
+    }
+
+    #[test]
+    fn random_plan_deterministic_per_seed() {
+        let devices: Vec<DeviceId> = (0..100).map(DeviceId).collect();
+        let a = FailurePlan::random(&devices, 0.3, 1_000_000, 10_000, 7);
+        let b = FailurePlan::random(&devices, 0.3, 1_000_000, 10_000, 7);
+        assert_eq!(a.events, b.events);
+        let c = FailurePlan::random(&devices, 0.3, 1_000_000, 10_000, 8);
+        assert_ne!(a.events, c.events);
+    }
+
+    #[test]
+    fn crash_paired_with_repair() {
+        let devices: Vec<DeviceId> = (0..50).map(DeviceId).collect();
+        let p = FailurePlan::random(&devices, 1.0, 1_000, 500, 1);
+        assert_eq!(p.events.len(), 100, "every device crashes and repairs");
+        let crashes = p.events.iter().filter(|e| e.crash).count();
+        assert_eq!(crashes, 50);
+    }
+
+    #[test]
+    fn zero_probability_no_events() {
+        let devices: Vec<DeviceId> = (0..50).map(DeviceId).collect();
+        let p = FailurePlan::random(&devices, 0.0, 1_000, 500, 1);
+        assert!(p.is_empty());
+    }
+}

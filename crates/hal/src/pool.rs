@@ -1,0 +1,607 @@
+//! Resource pools: the unit of disaggregated allocation (§3.2).
+//!
+//! "Fulfilling users' resource demands would then simply be allocating
+//! the exact amount from the corresponding resource pools." A pool holds
+//! every device of one [`ResourceKind`]; allocation carves *exact*
+//! amounts out of one or more devices — no instance shapes, no rounding
+//! up, which is precisely where UDC's waste savings (experiment E3) come
+//! from.
+
+use crate::device::{Device, DeviceId, DeviceState};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use udc_spec::ResourceKind;
+
+/// A slice of one device held by an allocation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Slice {
+    /// Device the slice lives on.
+    pub device: DeviceId,
+    /// Units held.
+    pub units: u64,
+    /// Whether the device is held single-tenant.
+    pub exclusive: bool,
+}
+
+/// A successful allocation: one or more slices totalling the requested
+/// amount, all of one resource kind.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Allocation {
+    /// Resource kind.
+    pub kind: ResourceKind,
+    /// Owning tenant tag.
+    pub tenant: String,
+    /// The slices (non-empty).
+    pub slices: Vec<Slice>,
+}
+
+impl Allocation {
+    /// Total units across slices.
+    pub fn total_units(&self) -> u64 {
+        self.slices.iter().map(|s| s.units).sum()
+    }
+
+    /// Devices touched by this allocation.
+    pub fn devices(&self) -> impl Iterator<Item = DeviceId> + '_ {
+        self.slices.iter().map(|s| s.device)
+    }
+}
+
+/// Allocation failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AllocError {
+    /// The pool cannot currently satisfy the request.
+    Insufficient {
+        /// Kind requested.
+        kind: ResourceKind,
+        /// Units requested.
+        requested: u64,
+        /// Units currently free (under the given constraints).
+        available: u64,
+    },
+    /// A zero-unit request.
+    ZeroRequest,
+    /// Single-tenant placement requested but no vacant device is large
+    /// enough to host the request exclusively.
+    NoExclusiveDevice {
+        /// Kind requested.
+        kind: ResourceKind,
+        /// Units requested.
+        requested: u64,
+    },
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::Insufficient {
+                kind,
+                requested,
+                available,
+            } => write!(
+                f,
+                "insufficient {kind}: requested {requested}, available {available}"
+            ),
+            AllocError::ZeroRequest => f.write_str("zero-unit allocation request"),
+            AllocError::NoExclusiveDevice { kind, requested } => write!(
+                f,
+                "no vacant {kind} device can host {requested} units single-tenant"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// Placement constraints for a pool allocation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AllocConstraints {
+    /// Reserve the hosting device(s) single-tenant (§3.3). Exclusive
+    /// allocations never span devices: the whole request must fit in one
+    /// vacant device (physical isolation is per-device).
+    pub exclusive: bool,
+    /// Prefer devices in this rack (locality hint from the scheduler);
+    /// soft constraint.
+    pub prefer_rack: Option<u32>,
+    /// Require the allocation to stay within a single device (needed by
+    /// modules that cannot shard).
+    pub single_device: bool,
+    /// Hard-pin the allocation to one device (set by placement policies
+    /// that already ranked candidates).
+    pub require_device: Option<DeviceId>,
+    /// Devices that must not be used (replica anti-affinity, §3.4:
+    /// replicas are only useful on independent hardware).
+    pub avoid: Vec<DeviceId>,
+}
+
+/// A pool of devices of one resource kind.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ResourcePool {
+    kind: ResourceKind,
+    devices: BTreeMap<DeviceId, Device>,
+}
+
+impl ResourcePool {
+    /// Creates an empty pool for `kind`.
+    pub fn new(kind: ResourceKind) -> Self {
+        Self {
+            kind,
+            devices: BTreeMap::new(),
+        }
+    }
+
+    /// The pool's resource kind.
+    pub fn kind(&self) -> ResourceKind {
+        self.kind
+    }
+
+    /// Adds a device.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the device's kind differs from the pool's, or when the
+    /// id is already present — both are construction bugs, not runtime
+    /// conditions.
+    pub fn add_device(&mut self, device: Device) {
+        assert_eq!(device.kind, self.kind, "device kind must match pool kind");
+        let prev = self.devices.insert(device.id, device);
+        assert!(prev.is_none(), "duplicate device id in pool");
+    }
+
+    /// Number of devices (any state).
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// True when the pool has no devices.
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// Total capacity of healthy devices.
+    pub fn total_capacity(&self) -> u64 {
+        self.devices
+            .values()
+            .filter(|d| d.state == DeviceState::Healthy)
+            .map(|d| d.capacity)
+            .sum()
+    }
+
+    /// Units currently allocated across healthy devices.
+    pub fn total_used(&self) -> u64 {
+        self.devices
+            .values()
+            .filter(|d| d.state == DeviceState::Healthy)
+            .map(|d| d.used())
+            .sum()
+    }
+
+    /// Utilization in \[0, 1\] (0 for an empty pool).
+    pub fn utilization(&self) -> f64 {
+        let cap = self.total_capacity();
+        if cap == 0 {
+            0.0
+        } else {
+            self.total_used() as f64 / cap as f64
+        }
+    }
+
+    /// Units free for `tenant` under `constraints`.
+    pub fn available_for(&self, tenant: &str, constraints: &AllocConstraints) -> u64 {
+        if constraints.exclusive || constraints.single_device {
+            self.devices
+                .values()
+                .filter(|d| !constraints.exclusive || d.vacant_except(tenant))
+                .map(|d| d.free_for(tenant))
+                .max()
+                .unwrap_or(0)
+        } else {
+            self.devices.values().map(|d| d.free_for(tenant)).sum()
+        }
+    }
+
+    /// Allocates exactly `units` for `tenant`.
+    ///
+    /// Strategy: best-fit within the preferred rack first, then best-fit
+    /// anywhere; spills across devices unless `single_device` or
+    /// `exclusive` is set. Best-fit (smallest sufficient free block)
+    /// keeps large holes available for large future requests.
+    pub fn allocate(
+        &mut self,
+        tenant: &str,
+        units: u64,
+        constraints: &AllocConstraints,
+    ) -> Result<Allocation, AllocError> {
+        if units == 0 {
+            return Err(AllocError::ZeroRequest);
+        }
+        if constraints.exclusive
+            || constraints.single_device
+            || constraints.require_device.is_some()
+        {
+            return self.allocate_single_device(tenant, units, constraints);
+        }
+
+        // Plan first (immutable), commit after: never leave a partial
+        // allocation behind.
+        let mut remaining = units;
+        let mut plan: Vec<(DeviceId, u64)> = Vec::new();
+        let mut candidates: Vec<&Device> = self
+            .devices
+            .values()
+            .filter(|d| d.free_for(tenant) > 0 && !constraints.avoid.contains(&d.id))
+            .collect();
+        // Preferred rack first, then largest free first (fewest slices).
+        candidates.sort_by_key(|d| {
+            let rack_penalty = match constraints.prefer_rack {
+                Some(r) if d.rack == r => 0u8,
+                Some(_) => 1,
+                None => 0,
+            };
+            (rack_penalty, std::cmp::Reverse(d.free_for(tenant)), d.id)
+        });
+        for d in candidates {
+            if remaining == 0 {
+                break;
+            }
+            let take = remaining.min(d.free_for(tenant));
+            if take > 0 {
+                plan.push((d.id, take));
+                remaining -= take;
+            }
+        }
+        if remaining > 0 {
+            return Err(AllocError::Insufficient {
+                kind: self.kind,
+                requested: units,
+                available: units - remaining,
+            });
+        }
+        let mut slices = Vec::with_capacity(plan.len());
+        for (id, take) in plan {
+            let d = self.devices.get_mut(&id).expect("planned device exists");
+            let ok = d.allocate(tenant, take, false);
+            debug_assert!(ok, "planned allocation must succeed");
+            slices.push(Slice {
+                device: id,
+                units: take,
+                exclusive: false,
+            });
+        }
+        Ok(Allocation {
+            kind: self.kind,
+            tenant: tenant.to_string(),
+            slices,
+        })
+    }
+
+    fn allocate_single_device(
+        &mut self,
+        tenant: &str,
+        units: u64,
+        constraints: &AllocConstraints,
+    ) -> Result<Allocation, AllocError> {
+        // Best-fit: the smallest device slot that satisfies the request,
+        // preferring the requested rack.
+        let mut best: Option<(u8, u64, DeviceId)> = None;
+        for d in self.devices.values() {
+            if let Some(req) = constraints.require_device {
+                if d.id != req {
+                    continue;
+                }
+            }
+            if constraints.avoid.contains(&d.id) {
+                continue;
+            }
+            if constraints.exclusive && !d.vacant_except(tenant) {
+                continue;
+            }
+            let free = d.free_for(tenant);
+            if free < units {
+                continue;
+            }
+            let rack_penalty = match constraints.prefer_rack {
+                Some(r) if d.rack == r => 0u8,
+                Some(_) => 1,
+                None => 0,
+            };
+            let key = (rack_penalty, free, d.id);
+            if best.is_none_or(|b| key < b) {
+                best = Some(key);
+            }
+        }
+        let Some((_, _, id)) = best else {
+            return Err(if constraints.exclusive {
+                AllocError::NoExclusiveDevice {
+                    kind: self.kind,
+                    requested: units,
+                }
+            } else {
+                AllocError::Insufficient {
+                    kind: self.kind,
+                    requested: units,
+                    available: self.available_for(tenant, constraints),
+                }
+            });
+        };
+        let d = self.devices.get_mut(&id).expect("chosen device exists");
+        let ok = d.allocate(tenant, units, constraints.exclusive);
+        debug_assert!(ok, "chosen device must accept the allocation");
+        Ok(Allocation {
+            kind: self.kind,
+            tenant: tenant.to_string(),
+            slices: vec![Slice {
+                device: id,
+                units,
+                exclusive: constraints.exclusive,
+            }],
+        })
+    }
+
+    /// Releases an allocation (idempotent per slice; unknown devices are
+    /// ignored, which makes release safe after failures).
+    pub fn release(&mut self, alloc: &Allocation) {
+        for s in &alloc.slices {
+            if let Some(d) = self.devices.get_mut(&s.device) {
+                d.release(&alloc.tenant, s.units);
+            }
+        }
+    }
+
+    /// Access a device by id.
+    pub fn device(&self, id: DeviceId) -> Option<&Device> {
+        self.devices.get(&id)
+    }
+
+    /// Mutable access to a device (failure injection, repair).
+    pub fn device_mut(&mut self, id: DeviceId) -> Option<&mut Device> {
+        self.devices.get_mut(&id)
+    }
+
+    /// Iterates devices in id order.
+    pub fn devices(&self) -> impl Iterator<Item = &Device> {
+        self.devices.values()
+    }
+
+    /// Count of devices held exclusively (single-tenant waste metric,
+    /// experiment E7).
+    pub fn exclusive_devices(&self) -> usize {
+        self.devices.values().filter(|d| d.is_exclusive()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(device_caps: &[u64]) -> ResourcePool {
+        let mut p = ResourcePool::new(ResourceKind::Cpu);
+        for (i, &cap) in device_caps.iter().enumerate() {
+            p.add_device(Device::new(
+                DeviceId(i as u32),
+                ResourceKind::Cpu,
+                cap,
+                (i / 4) as u32,
+            ));
+        }
+        p
+    }
+
+    #[test]
+    fn exact_fit_single_device() {
+        let mut p = pool(&[64, 64]);
+        let a = p.allocate("t", 10, &AllocConstraints::default()).unwrap();
+        assert_eq!(a.total_units(), 10);
+        assert_eq!(a.slices.len(), 1);
+        assert_eq!(p.total_used(), 10);
+    }
+
+    #[test]
+    fn spills_across_devices() {
+        let mut p = pool(&[8, 8, 8]);
+        let a = p.allocate("t", 20, &AllocConstraints::default()).unwrap();
+        assert_eq!(a.total_units(), 20);
+        assert_eq!(a.slices.len(), 3);
+    }
+
+    #[test]
+    fn insufficient_reports_available_and_rolls_back() {
+        let mut p = pool(&[8, 8]);
+        let err = p
+            .allocate("t", 20, &AllocConstraints::default())
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            AllocError::Insufficient { available: 16, .. }
+        ));
+        assert_eq!(p.total_used(), 0, "failed allocation must not leak");
+    }
+
+    #[test]
+    fn zero_request_rejected() {
+        let mut p = pool(&[8]);
+        assert_eq!(
+            p.allocate("t", 0, &AllocConstraints::default()),
+            Err(AllocError::ZeroRequest)
+        );
+    }
+
+    #[test]
+    fn release_returns_capacity() {
+        let mut p = pool(&[16]);
+        let a = p.allocate("t", 16, &AllocConstraints::default()).unwrap();
+        assert_eq!(p.available_for("t", &AllocConstraints::default()), 0);
+        p.release(&a);
+        assert_eq!(p.available_for("t", &AllocConstraints::default()), 16);
+    }
+
+    #[test]
+    fn exclusive_takes_whole_device() {
+        let mut p = pool(&[16, 16]);
+        let a = p
+            .allocate(
+                "t1",
+                4,
+                &AllocConstraints {
+                    exclusive: true,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert!(a.slices[0].exclusive);
+        let dev = a.slices[0].device;
+        // Another tenant cannot use the exclusive device.
+        assert_eq!(p.device(dev).unwrap().free_for("t2"), 0);
+        // But the other device remains available.
+        assert!(p.allocate("t2", 8, &AllocConstraints::default()).is_ok());
+    }
+
+    #[test]
+    fn exclusive_fails_when_all_devices_occupied() {
+        let mut p = pool(&[16]);
+        p.allocate("t1", 1, &AllocConstraints::default()).unwrap();
+        let err = p
+            .allocate(
+                "t2",
+                1,
+                &AllocConstraints {
+                    exclusive: true,
+                    ..Default::default()
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, AllocError::NoExclusiveDevice { .. }));
+    }
+
+    #[test]
+    fn single_device_constraint() {
+        let mut p = pool(&[8, 8]);
+        let err = p
+            .allocate(
+                "t",
+                12,
+                &AllocConstraints {
+                    single_device: true,
+                    ..Default::default()
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, AllocError::Insufficient { .. }));
+        assert!(p
+            .allocate(
+                "t",
+                8,
+                &AllocConstraints {
+                    single_device: true,
+                    ..Default::default()
+                },
+            )
+            .is_ok());
+    }
+
+    #[test]
+    fn rack_preference_honored() {
+        let mut p = ResourcePool::new(ResourceKind::Cpu);
+        p.add_device(Device::new(DeviceId(0), ResourceKind::Cpu, 64, 0));
+        p.add_device(Device::new(DeviceId(1), ResourceKind::Cpu, 64, 1));
+        let a = p
+            .allocate(
+                "t",
+                4,
+                &AllocConstraints {
+                    prefer_rack: Some(1),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(p.device(a.slices[0].device).unwrap().rack, 1);
+    }
+
+    #[test]
+    fn utilization_tracks_allocations() {
+        let mut p = pool(&[50, 50]);
+        assert_eq!(p.utilization(), 0.0);
+        let a = p.allocate("t", 25, &AllocConstraints::default()).unwrap();
+        assert!((p.utilization() - 0.25).abs() < 1e-9);
+        p.release(&a);
+        assert_eq!(p.utilization(), 0.0);
+    }
+
+    #[test]
+    fn failed_devices_excluded() {
+        let mut p = pool(&[16, 16]);
+        p.device_mut(DeviceId(0)).unwrap().fail();
+        assert_eq!(p.total_capacity(), 16);
+        let a = p.allocate("t", 16, &AllocConstraints::default()).unwrap();
+        assert_eq!(a.slices[0].device, DeviceId(1));
+        assert!(p.allocate("t", 1, &AllocConstraints::default()).is_err());
+    }
+
+    #[test]
+    fn require_device_pins_allocation() {
+        let mut p = pool(&[16, 16]);
+        let a = p
+            .allocate(
+                "t",
+                4,
+                &AllocConstraints {
+                    require_device: Some(DeviceId(1)),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(a.slices[0].device, DeviceId(1));
+        // Pinning to a full device fails rather than spilling.
+        let err = p.allocate(
+            "t",
+            16,
+            &AllocConstraints {
+                require_device: Some(DeviceId(1)),
+                ..Default::default()
+            },
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn avoid_devices_respected() {
+        let mut p = pool(&[8, 8]);
+        let a = p
+            .allocate(
+                "t",
+                8,
+                &AllocConstraints {
+                    avoid: vec![DeviceId(0)],
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(a.slices[0].device, DeviceId(1));
+        // Avoiding everything is unsatisfiable.
+        assert!(p
+            .allocate(
+                "t",
+                1,
+                &AllocConstraints {
+                    avoid: vec![DeviceId(0), DeviceId(1)],
+                    ..Default::default()
+                },
+            )
+            .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "device kind")]
+    fn wrong_kind_device_panics() {
+        let mut p = ResourcePool::new(ResourceKind::Cpu);
+        p.add_device(Device::new(DeviceId(0), ResourceKind::Gpu, 8, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate device id")]
+    fn duplicate_device_panics() {
+        let mut p = pool(&[8]);
+        p.add_device(Device::new(DeviceId(0), ResourceKind::Cpu, 8, 0));
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests for the hardware substrate: the allocator never
+//! over-commits, release restores capacity exactly, and exclusive
+//! placements never share devices.
+
+use proptest::prelude::*;
+use udc_hal::pool::AllocConstraints;
+use udc_hal::{Datacenter, DatacenterConfig, FabricConfig, PoolConfig};
+use udc_spec::{ResourceKind, ResourceVector};
+
+fn dc(cpu_devices: usize, cap: u64) -> Datacenter {
+    Datacenter::new(DatacenterConfig {
+        pools: vec![PoolConfig {
+            kind: ResourceKind::Cpu,
+            devices: cpu_devices,
+            capacity_per_device: cap,
+        }],
+        racks: 4,
+        fabric: FabricConfig::default(),
+    })
+}
+
+proptest! {
+    /// Whatever sequence of allocations and releases happens, no device
+    /// ever exceeds its capacity and pool accounting stays consistent.
+    #[test]
+    fn allocator_never_overcommits(
+        requests in prop::collection::vec((1u64..40, any::<bool>()), 1..60),
+    ) {
+        let mut dc = dc(4, 16);
+        let total_cap = 4 * 16u64;
+        let mut held = Vec::new();
+        for (i, (units, release_oldest)) in requests.into_iter().enumerate() {
+            let tenant = format!("t{}", i % 3);
+            let demand = ResourceVector::new().with(ResourceKind::Cpu, units);
+            if let Ok(allocs) = dc.allocate_vector(&tenant, &demand, &AllocConstraints::default()) {
+                held.extend(allocs);
+            }
+            if release_oldest && !held.is_empty() {
+                let a = held.remove(0);
+                dc.release(&a);
+            }
+            let pool = dc.pool(ResourceKind::Cpu).unwrap();
+            prop_assert!(pool.total_used() <= total_cap);
+            let held_sum: u64 = held.iter().map(|a| a.total_units()).sum();
+            prop_assert_eq!(pool.total_used(), held_sum, "accounting must match held slices");
+            for d in pool.devices() {
+                prop_assert!(d.used() <= d.capacity);
+            }
+        }
+        // Releasing everything restores a pristine pool.
+        for a in &held {
+            dc.release(a);
+        }
+        prop_assert_eq!(dc.pool(ResourceKind::Cpu).unwrap().total_used(), 0);
+    }
+
+    /// Exclusive allocations never share a device with another tenant.
+    #[test]
+    fn exclusive_never_shared(
+        plan in prop::collection::vec((1u64..8, any::<bool>()), 1..40),
+    ) {
+        let mut dc = dc(6, 8);
+        let mut held = Vec::new();
+        for (i, (units, exclusive)) in plan.into_iter().enumerate() {
+            let tenant = format!("t{i}");
+            let demand = ResourceVector::new().with(ResourceKind::Cpu, units);
+            let constraints = AllocConstraints { exclusive, ..Default::default() };
+            if let Ok(allocs) = dc.allocate_vector(&tenant, &demand, &constraints) {
+                held.extend(allocs);
+            }
+        }
+        let pool = dc.pool(ResourceKind::Cpu).unwrap();
+        for d in pool.devices() {
+            if d.is_exclusive() {
+                prop_assert!(d.tenants().count() <= 1, "exclusive device shared");
+            }
+        }
+    }
+
+    /// allocate_vector is all-or-nothing: on error, usage is unchanged.
+    #[test]
+    fn vector_alloc_atomic(cpu in 1u64..200, gpu in 1u64..200) {
+        let mut dc = Datacenter::new(DatacenterConfig {
+            pools: vec![
+                PoolConfig { kind: ResourceKind::Cpu, devices: 2, capacity_per_device: 32 },
+                PoolConfig { kind: ResourceKind::Gpu, devices: 1, capacity_per_device: 8 },
+            ],
+            racks: 4,
+            fabric: FabricConfig::default(),
+        });
+        let before_cpu = dc.pool(ResourceKind::Cpu).unwrap().total_used();
+        let before_gpu = dc.pool(ResourceKind::Gpu).unwrap().total_used();
+        let demand = ResourceVector::new()
+            .with(ResourceKind::Cpu, cpu)
+            .with(ResourceKind::Gpu, gpu);
+        let res = dc.allocate_vector("t", &demand, &AllocConstraints::default());
+        let after_cpu = dc.pool(ResourceKind::Cpu).unwrap().total_used();
+        let after_gpu = dc.pool(ResourceKind::Gpu).unwrap().total_used();
+        match res {
+            Ok(_) => {
+                prop_assert_eq!(after_cpu - before_cpu, cpu);
+                prop_assert_eq!(after_gpu - before_gpu, gpu);
+            }
+            Err(_) => {
+                prop_assert_eq!(after_cpu, before_cpu);
+                prop_assert_eq!(after_gpu, before_gpu);
+            }
+        }
+    }
+
+    /// Fabric transfers: time is monotone in payload size and cross-rack
+    /// never beats intra-rack for the same payload.
+    #[test]
+    fn fabric_monotone(bytes_a in 0u64..1_000_000, bytes_b in 0u64..1_000_000) {
+        let dc = Datacenter::new(DatacenterConfig {
+            pools: vec![PoolConfig { kind: ResourceKind::Cpu, devices: 8, capacity_per_device: 4 }],
+            racks: 4,
+            fabric: FabricConfig::default(),
+        });
+        let f = dc.fabric();
+        use udc_hal::DeviceId;
+        let (small, large) = if bytes_a <= bytes_b { (bytes_a, bytes_b) } else { (bytes_b, bytes_a) };
+        let intra_small = f.transfer_us(DeviceId(0), DeviceId(1), small);
+        let intra_large = f.transfer_us(DeviceId(0), DeviceId(1), large);
+        prop_assert!(intra_small <= intra_large);
+        let cross = f.transfer_us(DeviceId(0), DeviceId(5), small);
+        prop_assert!(cross >= intra_small);
+    }
+}

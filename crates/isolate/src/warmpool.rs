@@ -1,0 +1,192 @@
+//! Warm pools: the provider-side mitigation for §3.3's cold-start
+//! challenge ("As secure environments are usually slower to start up,
+//! (cold) starting many environments for many modules can significantly
+//! slow down the entire application").
+//!
+//! The provider pre-starts a bounded number of instances per environment
+//! class; module launches draw from the pool when possible and fall back
+//! to cold starts. Experiment E6 sweeps pool sizes against fan-out.
+
+use crate::env::EnvKind;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Warm-pool sizing per environment class.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WarmPoolConfig {
+    /// Instances kept warm per class.
+    pub target_per_kind: BTreeMap<EnvKind, usize>,
+}
+
+impl WarmPoolConfig {
+    /// No warm instances at all (every start is cold).
+    pub fn disabled() -> Self {
+        Self {
+            target_per_kind: BTreeMap::new(),
+        }
+    }
+
+    /// A uniform target for every class.
+    pub fn uniform(n: usize) -> Self {
+        Self {
+            target_per_kind: EnvKind::ALL.iter().map(|&k| (k, n)).collect(),
+        }
+    }
+
+    /// Builder-style: sets the target for one class.
+    pub fn with(mut self, kind: EnvKind, n: usize) -> Self {
+        self.target_per_kind.insert(kind, n);
+        self
+    }
+}
+
+/// Hit/miss statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WarmPoolStats {
+    /// Launches served from the pool.
+    pub hits: u64,
+    /// Launches that had to cold-start.
+    pub misses: u64,
+    /// Instances pre-started in total (provider cost).
+    pub prewarmed: u64,
+}
+
+impl WarmPoolStats {
+    /// Hit rate in \[0, 1\] (0 when no launches).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A warm pool across all environment classes.
+#[derive(Debug, Clone)]
+pub struct WarmPool {
+    config: WarmPoolConfig,
+    ready: BTreeMap<EnvKind, usize>,
+    stats: WarmPoolStats,
+}
+
+impl WarmPool {
+    /// Creates a pool filled to its targets (the provider pre-warms at
+    /// deployment time).
+    pub fn new(config: WarmPoolConfig) -> Self {
+        let ready = config.target_per_kind.clone();
+        let prewarmed: u64 = ready.values().map(|&n| n as u64).sum();
+        Self {
+            config,
+            ready,
+            stats: WarmPoolStats {
+                prewarmed,
+                ..Default::default()
+            },
+        }
+    }
+
+    /// Attempts to draw a warm instance of `kind`. Returns the startup
+    /// latency: warm on hit, cold on miss.
+    pub fn acquire(&mut self, kind: EnvKind) -> u64 {
+        let m = kind.cost_model();
+        match self.ready.get_mut(&kind) {
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                self.stats.hits += 1;
+                m.warm_start_us
+            }
+            _ => {
+                self.stats.misses += 1;
+                m.cold_start_us
+            }
+        }
+    }
+
+    /// Refills the pool toward its targets, returning the number of
+    /// instances pre-started (background provider work, charged to the
+    /// provider not the tenant).
+    pub fn refill(&mut self) -> usize {
+        let mut started = 0;
+        for (&kind, &target) in &self.config.target_per_kind {
+            let cur = self.ready.entry(kind).or_insert(0);
+            if *cur < target {
+                started += target - *cur;
+                self.stats.prewarmed += (target - *cur) as u64;
+                *cur = target;
+            }
+        }
+        started
+    }
+
+    /// Instances ready for `kind` right now.
+    pub fn ready(&self, kind: EnvKind) -> usize {
+        self.ready.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> WarmPoolStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_until_drained_then_miss() {
+        let mut p = WarmPool::new(WarmPoolConfig::disabled().with(EnvKind::TeeEnclave, 2));
+        let m = EnvKind::TeeEnclave.cost_model();
+        assert_eq!(p.acquire(EnvKind::TeeEnclave), m.warm_start_us);
+        assert_eq!(p.acquire(EnvKind::TeeEnclave), m.warm_start_us);
+        assert_eq!(p.acquire(EnvKind::TeeEnclave), m.cold_start_us);
+        assert_eq!(p.stats().hits, 2);
+        assert_eq!(p.stats().misses, 1);
+    }
+
+    #[test]
+    fn disabled_pool_always_cold() {
+        let mut p = WarmPool::new(WarmPoolConfig::disabled());
+        for k in EnvKind::ALL {
+            assert_eq!(p.acquire(k), k.cost_model().cold_start_us);
+        }
+        assert_eq!(p.stats().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn refill_restores_targets() {
+        let mut p = WarmPool::new(WarmPoolConfig::uniform(1));
+        p.acquire(EnvKind::Container);
+        p.acquire(EnvKind::Unikernel);
+        assert_eq!(p.ready(EnvKind::Container), 0);
+        let started = p.refill();
+        assert_eq!(started, 2);
+        assert_eq!(p.ready(EnvKind::Container), 1);
+        assert_eq!(p.ready(EnvKind::Unikernel), 1);
+    }
+
+    #[test]
+    fn unconfigured_kind_misses() {
+        let mut p = WarmPool::new(WarmPoolConfig::disabled().with(EnvKind::Container, 5));
+        assert_eq!(
+            p.acquire(EnvKind::FullVm),
+            EnvKind::FullVm.cost_model().cold_start_us
+        );
+    }
+
+    #[test]
+    fn stats_track_prewarm_cost() {
+        let p = WarmPool::new(WarmPoolConfig::uniform(3));
+        assert_eq!(p.stats().prewarmed, 3 * EnvKind::ALL.len() as u64);
+    }
+
+    #[test]
+    fn hit_rate_mixed() {
+        let mut p = WarmPool::new(WarmPoolConfig::disabled().with(EnvKind::Container, 1));
+        p.acquire(EnvKind::Container);
+        p.acquire(EnvKind::Container);
+        assert!((p.stats().hit_rate() - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests for environment selection (§3.3): the mapping from
+//! declarative aspects to concrete plans is total, honours the paper's
+//! taxonomy, and never weakens an explicit user requirement.
+
+use proptest::prelude::*;
+use udc_isolate::{defends, select_env, AttackVector, EnvKind};
+use udc_spec::{ExecEnvAspect, IsolationLevel, ResourceKind, Tenancy};
+
+fn arb_aspect() -> impl Strategy<Value = ExecEnvAspect> {
+    (
+        prop_oneof![
+            Just(None),
+            Just(Some(IsolationLevel::Weak)),
+            Just(Some(IsolationLevel::Medium)),
+            Just(Some(IsolationLevel::Strong)),
+            Just(Some(IsolationLevel::Strongest)),
+        ],
+        prop_oneof![
+            Just(None),
+            Just(Some(Tenancy::Shared)),
+            Just(Some(Tenancy::SingleTenant))
+        ],
+        any::<bool>(),
+    )
+        .prop_map(|(isolation, tenancy, tee)| {
+            let mut a = ExecEnvAspect::default();
+            a.isolation = isolation;
+            // Keep the aspect coherent (validation would reject
+            // strongest + shared).
+            a.tenancy = if isolation == Some(IsolationLevel::Strongest) {
+                Some(Tenancy::SingleTenant)
+            } else {
+                tenancy
+            };
+            a.tee_if_cpu = tee;
+            a
+        })
+}
+
+fn arb_kind() -> impl Strategy<Value = ResourceKind> {
+    prop::sample::select(ResourceKind::ALL.to_vec())
+}
+
+proptest! {
+    /// Selection is total: every coherent aspect on every hardware kind
+    /// yields a plan.
+    #[test]
+    fn selection_total(aspect in arb_aspect(), kind in arb_kind()) {
+        let plan = select_env(&aspect, kind);
+        prop_assert!(plan.is_ok());
+    }
+
+    /// The paper's taxonomy: strongest/strong are user-verifiable,
+    /// medium/weak are not; strongest is always single-tenant; TEEs only
+    /// appear on CPUs.
+    #[test]
+    fn taxonomy_invariants(aspect in arb_aspect(), kind in arb_kind()) {
+        let plan = select_env(&aspect, kind).unwrap();
+        match aspect.isolation.unwrap_or(IsolationLevel::Weak) {
+            IsolationLevel::Strongest => {
+                prop_assert!(plan.single_tenant);
+                prop_assert!(plan.user_verifiable);
+            }
+            IsolationLevel::Strong => prop_assert!(plan.user_verifiable),
+            IsolationLevel::Medium | IsolationLevel::Weak => {
+                // tee_if_cpu can upgrade verifiability on CPUs; otherwise
+                // the user must trust the provider.
+                if !(aspect.tee_if_cpu && kind == ResourceKind::Cpu) {
+                    prop_assert!(!plan.user_verifiable);
+                }
+            }
+        }
+        if plan.kind == EnvKind::TeeEnclave {
+            prop_assert_eq!(kind, ResourceKind::Cpu, "TEEs only work with CPUs (§3.3)");
+        }
+        // An explicit single-tenant demand is never dropped.
+        if aspect.tenancy == Some(Tenancy::SingleTenant) {
+            prop_assert!(plan.single_tenant);
+        }
+    }
+
+    /// Defense sets are monotone in the plan: the strongest realization
+    /// (TEE + single-tenant) covers every other plan's defenses.
+    #[test]
+    fn strongest_defends_superset(aspect in arb_aspect(), kind in arb_kind()) {
+        let plan = select_env(&aspect, kind).unwrap();
+        let this = defends(plan.kind, plan.single_tenant);
+        let strongest = defends(EnvKind::TeeEnclave, true);
+        prop_assert!(strongest.is_superset(&this));
+    }
+
+    /// Single-tenant placement always adds hardware-side-channel defense.
+    #[test]
+    fn single_tenant_defends_side_channels(kind in prop::sample::select(EnvKind::ALL.to_vec())) {
+        let with = defends(kind, true);
+        prop_assert!(with.contains(&AttackVector::HardwareSideChannel));
+        let without = defends(kind, false);
+        prop_assert!(!without.contains(&AttackVector::HardwareSideChannel));
+    }
+}

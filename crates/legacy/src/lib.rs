@@ -1,0 +1,39 @@
+//! # udc-legacy — migrating legacy software to UDC (§4)
+//!
+//! "Most legacy cloud applications can run as is on UDC. However,
+//! without splitting these programs into smaller modules, their
+//! executions would not benefit from the fine-grained treatments UDC
+//! enables at each layer, leading to suboptimal performance and/or
+//! resource utilization. An interesting idea is to transform them into
+//! programs under our model. We could potentially develop static program
+//! analysis that performs semi-automated transformation of an existing
+//! program by involving developers in the loop and with the help of a
+//! run-time profiler. For example, our static analysis can infer
+//! dependencies and cuts a program into segments to minimize the number
+//! of cross-segment dependencies, while developers can provide hints on
+//! where application semantics transition in their code and a profiling
+//! run could capture where resource usage patterns change in the code."
+//!
+//! This crate implements exactly that pipeline:
+//!
+//! 1. [`program::LegacyProgram`] — the analyzed representation of a
+//!    monolith: basic blocks with profiled resource phases and weighted
+//!    dataflow edges (what a profiler + static analysis produce);
+//! 2. [`partition::partition`] — the semi-automated cutter: seeds
+//!    module boundaries at profiled *phase changes*, honours developer
+//!    [`partition::Hint`]s, then runs a Kernighan–Lin-style refinement
+//!    that minimizes cross-segment dependency weight;
+//! 3. [`to_app::to_app_spec`] — emits a UDC [`udc_spec::AppSpec`] with
+//!    aspects inferred from the profiles (GPU-able phases get GPU
+//!    candidates, I/O phases get storage demand) and locality hints
+//!    derived from the residual cut edges.
+
+pub mod partition;
+pub mod program;
+pub mod to_app;
+
+pub use partition::{partition, Hint, Partition, PartitionConfig};
+pub use program::{
+    etl_ml_monolith as etl_ml_monolith_program, Block, BlockId, LegacyProgram, ResourcePhase,
+};
+pub use to_app::to_app_spec;

@@ -1,0 +1,180 @@
+//! Emitting a UDC application from a partitioned legacy program: the
+//! last step of §4's semi-automated transformation.
+
+use crate::partition::Partition;
+use crate::program::{LegacyProgram, ResourcePhase};
+use udc_spec::{AppSpec, EdgeKind, ResourceAspect, ResourceKind, SpecResult, TaskSpec};
+
+/// Converts a partition into an [`AppSpec`]:
+///
+/// - each segment becomes a task module named `m<i>_<dominant label>`;
+/// - the resource aspect is inferred from the segment's dominant
+///   profiled phase (GPU-able → GPU candidate + demand, memory-bound →
+///   DRAM demand from the peak working set, I/O-bound → cheapest goal);
+/// - dependency edges follow the residual cross-segment flows;
+/// - segments connected by heavy residual flows (>= `colocate_threshold`
+///   bytes) get colocate hints, preserving the monolith's locality where
+///   the cut could not remove it.
+pub fn to_app_spec(
+    program: &LegacyProgram,
+    partition: &Partition,
+    name: &str,
+    colocate_threshold: u64,
+) -> SpecResult<AppSpec> {
+    let mut app = AppSpec::new(name);
+    let ranges = partition.ranges();
+
+    let mut names = Vec::with_capacity(ranges.len());
+    for (i, (s, e)) in ranges.iter().enumerate() {
+        let blocks = &program.blocks[*s..=*e];
+        // Dominant phase by work.
+        let mut by_phase: Vec<(ResourcePhase, u64)> = Vec::new();
+        for b in blocks {
+            match by_phase.iter_mut().find(|(p, _)| *p == b.phase) {
+                Some((_, w)) => *w += b.work,
+                None => by_phase.push((b.phase, b.work)),
+            }
+        }
+        let (phase, _) = *by_phase
+            .iter()
+            .max_by_key(|(_, w)| *w)
+            .expect("segments are non-empty");
+        let work: u64 = blocks.iter().map(|b| b.work).sum();
+        let peak_ws = blocks.iter().map(|b| b.working_set_mib).max().unwrap_or(1);
+        let head = blocks
+            .first()
+            .map(|b| b.label.replace('_', "-"))
+            .unwrap_or_default();
+        let module_name = format!("m{i}-{head}");
+        names.push(module_name.clone());
+
+        let resource = match phase {
+            ResourcePhase::GpuAble => ResourceAspect::default()
+                .with_demand(ResourceKind::Gpu, 1)
+                .with_candidate(ResourceKind::Gpu)
+                .with_candidate(ResourceKind::Cpu),
+            ResourcePhase::MemoryBound => ResourceAspect::default()
+                .with_demand(ResourceKind::Cpu, 2)
+                .with_demand(ResourceKind::Dram, peak_ws),
+            ResourcePhase::CpuBound => {
+                // Size CPUs to the work: 1 core per 500 work units,
+                // capped at 8 (the dry-run calibration of §3.2).
+                ResourceAspect::default().with_demand(ResourceKind::Cpu, (work / 500).clamp(1, 8))
+            }
+            ResourcePhase::IoBound => ResourceAspect::goal(udc_spec::Goal::Cheapest),
+        };
+        app.add_task(
+            TaskSpec::new(&module_name)
+                .describe(format!("blocks {s}..={e}"))
+                .with_resource(resource)
+                .with_work(work.max(1))
+                .with_bytes(peak_ws << 20),
+        );
+    }
+
+    // Residual flows → edges + colocate hints.
+    let mut edge_bytes: std::collections::BTreeMap<(usize, usize), u64> = Default::default();
+    for f in &program.flows {
+        let (a, b) = (partition.segment_of[f.from.0], partition.segment_of[f.to.0]);
+        if a != b {
+            *edge_bytes.entry((a, b)).or_insert(0) += f.bytes;
+        }
+    }
+    for (&(a, b), &bytes) in &edge_bytes {
+        app.add_edge(&names[a], &names[b], EdgeKind::Dependency)?;
+        if bytes >= colocate_threshold {
+            app.colocate(&names[a], &names[b])?;
+        }
+    }
+    app.validate()?;
+    Ok(app)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::{partition, PartitionConfig};
+    use crate::program::etl_ml_monolith;
+
+    fn build() -> (LegacyProgram, Partition, AppSpec) {
+        let p = etl_ml_monolith();
+        let part = partition(&p, &[], PartitionConfig::default());
+        let app = to_app_spec(&p, &part, "etl-ml", 2 << 30).expect("valid app");
+        (p, part, app)
+    }
+
+    #[test]
+    fn emits_one_task_per_segment() {
+        let (_, part, app) = build();
+        assert_eq!(app.tasks().count(), part.segments);
+        app.validate().unwrap();
+    }
+
+    #[test]
+    fn gpu_segment_gets_gpu_aspect() {
+        let (_, _, app) = build();
+        let gpu_module = app
+            .iter_modules()
+            .find(|m| m.resource.demand.get(ResourceKind::Gpu) > 0)
+            .expect("the train/embed segment demands a GPU");
+        assert!(gpu_module.work_units.unwrap() >= 9_000, "the heavy GPU run");
+    }
+
+    #[test]
+    fn memory_segment_sized_from_working_set() {
+        let (_, _, app) = build();
+        let mem_module = app
+            .iter_modules()
+            .find(|m| m.resource.demand.get(ResourceKind::Dram) >= 16 * 1024)
+            .expect("the join segment carries its 16 GiB working set");
+        assert!(mem_module.resource.demand.get(ResourceKind::Cpu) > 0);
+    }
+
+    #[test]
+    fn edges_follow_program_order() {
+        let (_, _, app) = build();
+        let order = app.topo_order().unwrap();
+        // Module names are m0-, m1-, ...; topological order must respect
+        // the numeric prefix (segments are program-ordered).
+        let positions: Vec<usize> = order
+            .iter()
+            .map(|id| {
+                id.as_str()[1..]
+                    .split('-')
+                    .next()
+                    .unwrap()
+                    .parse::<usize>()
+                    .unwrap()
+            })
+            .collect();
+        let mut sorted = positions.clone();
+        sorted.sort_unstable();
+        assert_eq!(positions, sorted);
+    }
+
+    #[test]
+    fn heavy_residual_flows_become_colocate_hints() {
+        let (_, _, app) = build();
+        assert!(
+            !app.hints.is_empty(),
+            "multi-GiB residual flows must produce colocation hints"
+        );
+    }
+
+    #[test]
+    fn single_segment_produces_single_module() {
+        let p = etl_ml_monolith();
+        let part = partition(
+            &p,
+            &[],
+            PartitionConfig {
+                max_modules: 1,
+                min_module_work: 0,
+                refine_passes: 0,
+            },
+        );
+        let app = to_app_spec(&p, &part, "mono", u64::MAX).unwrap();
+        assert_eq!(app.len(), 1);
+        assert!(app.edges.is_empty());
+    }
+}

@@ -1,0 +1,253 @@
+//! Placement policies: how candidate devices are ranked.
+//!
+//! The provider ships a native locality-aware policy; tenants may
+//! *override* it with their own policy compiled to extension-VM bytecode
+//! (Design Principles 1–2: the user defines, the provider executes the
+//! definition safely).
+
+use udc_extvm::{Host, Program, Vm, VmLimits};
+use udc_hal::{Datacenter, DeviceId};
+
+/// Context describing one candidate device for one module placement.
+#[derive(Debug, Clone, Copy)]
+pub struct PolicyCtx {
+    /// Candidate device.
+    pub device: DeviceId,
+    /// Free units on the device (for the tenant).
+    pub free_units: u64,
+    /// Device capacity.
+    pub capacity: u64,
+    /// The device's rack.
+    pub rack: u32,
+    /// Rack preferred by locality hints (u32::MAX = none).
+    pub preferred_rack: u32,
+    /// Units the module demands.
+    pub demand: u64,
+}
+
+/// Ranks candidate devices; higher scores win. Returning `None` vetoes
+/// the candidate.
+pub trait PlacementPolicy {
+    /// Scores a candidate.
+    fn score(&mut self, ctx: &PolicyCtx) -> Option<i64>;
+
+    /// Human-readable name (for experiment output).
+    fn name(&self) -> &str;
+}
+
+/// The provider's native policy: prefer the hinted rack, then best-fit
+/// (least leftover capacity) to keep large holes open.
+#[derive(Debug, Default, Clone)]
+pub struct LocalityPolicy;
+
+impl PlacementPolicy for LocalityPolicy {
+    fn score(&mut self, ctx: &PolicyCtx) -> Option<i64> {
+        if ctx.free_units < ctx.demand {
+            return None;
+        }
+        let rack_bonus = if ctx.preferred_rack != u32::MAX && ctx.rack == ctx.preferred_rack {
+            1_000_000
+        } else {
+            0
+        };
+        let leftover = (ctx.free_units - ctx.demand) as i64;
+        // Best-fit: smaller leftover scores higher.
+        Some(rack_bonus - leftover)
+    }
+
+    fn name(&self) -> &str {
+        "native-locality"
+    }
+}
+
+/// A tenant-supplied policy running in the sandboxed extension VM.
+///
+/// The program receives the candidate as VM arguments
+/// `[free, capacity, rack, preferred_rack, demand]` and returns a score;
+/// a negative score vetoes the candidate. Any trap (gas exhaustion,
+/// memory violation, hostile code) vetoes the candidate and is counted,
+/// so a broken or malicious extension degrades *that tenant's* placement
+/// quality without affecting the control plane.
+pub struct ExtVmPolicy {
+    program: Program,
+    vm: Vm,
+    name: String,
+    /// Traps observed (telemetry for experiment E14).
+    pub traps: u64,
+    /// Total gas consumed across invocations.
+    pub gas_used: u64,
+}
+
+impl ExtVmPolicy {
+    /// Wraps an assembled tenant program.
+    pub fn new(name: impl Into<String>, program: Program, limits: VmLimits) -> Self {
+        Self {
+            program,
+            vm: Vm::new(limits),
+            name: name.into(),
+            traps: 0,
+            gas_used: 0,
+        }
+    }
+}
+
+/// Host functions exposed to placement policies. Index 0 returns the
+/// absolute difference of its two arguments (a convenience the native
+/// ISA lacks); more can be added without breaking old programs.
+struct PolicyHost;
+
+impl Host for PolicyHost {
+    fn call(&mut self, idx: u8, args: &[i64]) -> Result<i64, String> {
+        match idx {
+            0 => match args {
+                [a, b] => Ok((a - b).abs()),
+                _ => Err("host fn 0 wants 2 args".to_string()),
+            },
+            other => Err(format!("no host function {other}")),
+        }
+    }
+}
+
+impl PlacementPolicy for ExtVmPolicy {
+    fn score(&mut self, ctx: &PolicyCtx) -> Option<i64> {
+        if ctx.free_units < ctx.demand {
+            return None;
+        }
+        let args = [
+            ctx.free_units as i64,
+            ctx.capacity as i64,
+            ctx.rack as i64,
+            if ctx.preferred_rack == u32::MAX {
+                -1
+            } else {
+                ctx.preferred_rack as i64
+            },
+            ctx.demand as i64,
+        ];
+        let result = self.vm.run(&self.program, &args, &mut PolicyHost);
+        self.gas_used += self.vm.last_gas_used();
+        match result {
+            Ok(score) if score >= 0 => Some(score),
+            Ok(_) => None,
+            Err(_) => {
+                self.traps += 1;
+                None
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Builds the [`PolicyCtx`] list for a demand on one resource pool.
+pub fn candidates_for(
+    dc: &Datacenter,
+    kind: udc_spec::ResourceKind,
+    tenant: &str,
+    demand: u64,
+    preferred_rack: Option<u32>,
+) -> Vec<PolicyCtx> {
+    let Some(pool) = dc.pool(kind) else {
+        return Vec::new();
+    };
+    pool.devices()
+        .map(|d| PolicyCtx {
+            device: d.id,
+            free_units: d.free_for(tenant),
+            capacity: d.capacity,
+            rack: d.rack,
+            preferred_rack: preferred_rack.unwrap_or(u32::MAX),
+            demand,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udc_extvm::assemble;
+
+    fn ctx(free: u64, rack: u32, preferred: u32, demand: u64) -> PolicyCtx {
+        PolicyCtx {
+            device: DeviceId(0),
+            free_units: free,
+            capacity: 64,
+            rack,
+            preferred_rack: preferred,
+            demand,
+        }
+    }
+
+    #[test]
+    fn native_policy_prefers_hinted_rack() {
+        let mut p = LocalityPolicy;
+        let hinted = p.score(&ctx(32, 1, 1, 4)).unwrap();
+        let other = p.score(&ctx(32, 0, 1, 4)).unwrap();
+        assert!(hinted > other);
+    }
+
+    #[test]
+    fn native_policy_best_fit() {
+        let mut p = LocalityPolicy;
+        let tight = p.score(&ctx(5, 0, u32::MAX, 4)).unwrap();
+        let loose = p.score(&ctx(60, 0, u32::MAX, 4)).unwrap();
+        assert!(tight > loose, "best-fit prefers the snug device");
+    }
+
+    #[test]
+    fn native_policy_vetoes_insufficient() {
+        let mut p = LocalityPolicy;
+        assert!(p.score(&ctx(3, 0, u32::MAX, 4)).is_none());
+    }
+
+    #[test]
+    fn extvm_policy_scores() {
+        // Tenant policy: score = free - demand (worst-fit: prefer the
+        // emptiest device — a policy the provider does NOT offer).
+        let prog = assemble("arg 0\narg 4\nsub\nret").unwrap();
+        let mut p = ExtVmPolicy::new("tenant-worst-fit", prog, VmLimits::default());
+        let empty = p.score(&ctx(60, 0, u32::MAX, 4)).unwrap();
+        let snug = p.score(&ctx(5, 0, u32::MAX, 4)).unwrap();
+        assert!(empty > snug, "tenant policy inverts the provider default");
+        assert!(p.gas_used > 0);
+    }
+
+    #[test]
+    fn extvm_negative_score_vetoes() {
+        let prog = assemble("push -1\nret").unwrap();
+        let mut p = ExtVmPolicy::new("veto-all", prog, VmLimits::default());
+        assert!(p.score(&ctx(60, 0, u32::MAX, 4)).is_none());
+        assert_eq!(p.traps, 0, "a clean negative return is not a trap");
+    }
+
+    #[test]
+    fn hostile_extension_contained() {
+        // An infinite loop: every invocation traps on gas, vetoing the
+        // candidate, but the control plane survives.
+        let prog = assemble("spin: jmp spin").unwrap();
+        let mut p = ExtVmPolicy::new(
+            "hostile",
+            prog,
+            VmLimits {
+                max_gas: 10_000,
+                ..Default::default()
+            },
+        );
+        for _ in 0..5 {
+            assert!(p.score(&ctx(60, 0, u32::MAX, 4)).is_none());
+        }
+        assert_eq!(p.traps, 5);
+    }
+
+    #[test]
+    fn extvm_host_function_usable() {
+        // score = 100 - |rack - preferred| via host fn 0.
+        let prog = assemble("push 100\narg 2\narg 3\nhostcall 0.2\nsub\nret").unwrap();
+        let mut p = ExtVmPolicy::new("rack-distance", prog, VmLimits::default());
+        let near = p.score(&ctx(32, 2, 2, 1)).unwrap();
+        let far = p.score(&ctx(32, 9, 2, 1)).unwrap();
+        assert!(near > far);
+    }
+}

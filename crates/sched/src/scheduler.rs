@@ -1,0 +1,1171 @@
+//! Placing an application DAG onto the disaggregated datacenter.
+
+use crate::policy::{candidates_for, LocalityPolicy, PlacementPolicy};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use udc_hal::pool::AllocConstraints;
+use udc_hal::{AllocError, Allocation, Datacenter, DeviceId};
+use udc_isolate::{select_env, EnvironmentPlan, WarmPool, WarmPoolConfig};
+use udc_spec::{
+    AppSpec, ConflictPolicy, Goal, ModuleId, ModuleKind, ResourceKind, ResourceVector, SpecError,
+};
+
+/// How a module's environment was started.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StartMode {
+    /// Started from scratch.
+    Cold,
+    /// Served from the warm pool.
+    Warm,
+}
+
+/// The placement of one module.
+#[derive(Debug, Clone)]
+pub struct ModulePlacement {
+    /// The module.
+    pub module: ModuleId,
+    /// All resource allocations held (compute + memory for tasks; one
+    /// per replica for data).
+    pub allocations: Vec<Allocation>,
+    /// The device hosting the module's execution (tasks) or primary
+    /// replica (data).
+    pub primary_device: DeviceId,
+    /// Devices hosting data replicas (data modules; `[primary]` for
+    /// replication = 1).
+    pub replica_devices: Vec<DeviceId>,
+    /// The concrete execution environment chosen.
+    pub env: EnvironmentPlan,
+    /// Cold or warm start.
+    pub start_mode: StartMode,
+    /// Startup latency paid (environment launch).
+    pub startup_us: u64,
+    /// Estimated execution time (tasks with known work), including the
+    /// environment's runtime overhead.
+    pub est_exec_us: Option<u64>,
+    /// The compute/storage kind the module landed on.
+    pub placed_kind: ResourceKind,
+}
+
+/// The placement of a whole application.
+#[derive(Debug, Clone, Default)]
+pub struct AppPlacement {
+    /// Per-module placements, in module-id order.
+    pub modules: BTreeMap<ModuleId, ModulePlacement>,
+}
+
+impl AppPlacement {
+    /// Total startup latency across modules (they start in parallel per
+    /// DAG level, but the sum is the provider-side work metric).
+    pub fn total_startup_us(&self) -> u64 {
+        self.modules.values().map(|m| m.startup_us).sum()
+    }
+
+    /// Warm-start fraction.
+    pub fn warm_fraction(&self) -> f64 {
+        if self.modules.is_empty() {
+            return 0.0;
+        }
+        let warm = self
+            .modules
+            .values()
+            .filter(|m| m.start_mode == StartMode::Warm)
+            .count();
+        warm as f64 / self.modules.len() as f64
+    }
+
+    /// Total units allocated, per kind.
+    pub fn allocated_vector(&self) -> ResourceVector {
+        let mut v = ResourceVector::new();
+        for m in self.modules.values() {
+            for a in &m.allocations {
+                let cur = v.get(a.kind);
+                v.set(a.kind, cur + a.total_units());
+            }
+        }
+        v
+    }
+}
+
+/// Scheduling failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchedError {
+    /// The specification was invalid or conflicted (under an `Error`
+    /// conflict policy).
+    Spec(SpecError),
+    /// A module's resources could not be allocated.
+    Alloc {
+        /// The module that failed.
+        module: String,
+        /// The underlying allocator error.
+        cause: AllocError,
+    },
+    /// Replicas could not be spread over distinct devices.
+    NotEnoughFailureIndependence {
+        /// The data module.
+        module: String,
+        /// Replicas requested.
+        requested: u32,
+        /// Distinct devices available.
+        distinct_devices: usize,
+    },
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::Spec(e) => write!(f, "spec error: {e}"),
+            SchedError::Alloc { module, cause } => {
+                write!(f, "allocation failed for `{module}`: {cause}")
+            }
+            SchedError::NotEnoughFailureIndependence {
+                module,
+                requested,
+                distinct_devices,
+            } => write!(
+                f,
+                "data module `{module}` wants {requested} replicas but only \
+                 {distinct_devices} distinct devices exist"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SchedError {}
+
+impl From<SpecError> for SchedError {
+    fn from(e: SpecError) -> Self {
+        SchedError::Spec(e)
+    }
+}
+
+/// Scheduler options.
+pub struct SchedOptions {
+    /// Tenant tag used for allocation ownership.
+    pub tenant: String,
+    /// Honour colocate/affinity hints (experiment E13 toggles this).
+    pub use_locality_hints: bool,
+    /// Warm-pool configuration (experiment E6 sweeps this).
+    pub warm_pool: WarmPoolConfig,
+    /// What to do about aspect conflicts (§3.4).
+    pub conflict_policy: ConflictPolicy,
+    /// Candidate-ranking policy (native or tenant extension).
+    pub policy: Box<dyn PlacementPolicy>,
+}
+
+impl Default for SchedOptions {
+    fn default() -> Self {
+        Self {
+            tenant: "tenant".to_string(),
+            use_locality_hints: true,
+            warm_pool: WarmPoolConfig::disabled(),
+            conflict_policy: ConflictPolicy::StrictestWins,
+            policy: Box::new(LocalityPolicy),
+        }
+    }
+}
+
+/// Disjoint-set structure for colocation groups.
+struct Dsu {
+    parent: Vec<usize>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+/// The UDC runtime scheduler.
+pub struct Scheduler {
+    options: SchedOptions,
+    warm_pool: WarmPool,
+}
+
+impl Scheduler {
+    /// Creates a scheduler with the given options.
+    pub fn new(options: SchedOptions) -> Self {
+        let warm_pool = WarmPool::new(options.warm_pool.clone());
+        Self { options, warm_pool }
+    }
+
+    /// The warm pool (for stats and refills between apps).
+    pub fn warm_pool_mut(&mut self) -> &mut WarmPool {
+        &mut self.warm_pool
+    }
+
+    /// The active placement policy.
+    pub fn policy_name(&self) -> &str {
+        self.options.policy.name()
+    }
+
+    /// Places an application: conflict resolution, validation, data
+    /// modules first (so tasks can follow their affinity hints), then
+    /// tasks in dependency order.
+    pub fn place_app(
+        &mut self,
+        dc: &mut Datacenter,
+        app: &AppSpec,
+    ) -> Result<AppPlacement, SchedError> {
+        let app = udc_spec::resolve(app, self.options.conflict_policy)?;
+        app.validate()?;
+
+        let order = app.topo_order()?;
+        let colocate_rack = self.colocation_racks(&app);
+
+        let mut placement = AppPlacement::default();
+        // Data modules first (they are sources of affinity).
+        let data_first: Vec<&ModuleId> = order
+            .iter()
+            .filter(|id| app.module(id).map(|m| m.kind) == Some(ModuleKind::Data))
+            .chain(
+                order
+                    .iter()
+                    .filter(|id| app.module(id).map(|m| m.kind) == Some(ModuleKind::Task)),
+            )
+            .collect();
+
+        for id in data_first {
+            let module = app.module(id).expect("ordered ids exist");
+            let placed = match module.kind {
+                ModuleKind::Data => self.place_data(dc, &app, module, &placement)?,
+                ModuleKind::Task => {
+                    self.place_task(dc, &app, module, &placement, &colocate_rack)?
+                }
+            };
+            placement.modules.insert(id.clone(), placed);
+        }
+        dc.telemetry_mut().incr("apps_placed", 1);
+        Ok(placement)
+    }
+
+    /// Releases every allocation of a placement.
+    pub fn release_app(&mut self, dc: &mut Datacenter, placement: &AppPlacement) {
+        for m in placement.modules.values() {
+            for a in &m.allocations {
+                dc.release(a);
+            }
+        }
+    }
+
+    /// Precomputed colocation-group keys: module -> group leader index.
+    fn colocation_racks(&self, app: &AppSpec) -> BTreeMap<ModuleId, usize> {
+        let ids: Vec<ModuleId> = app.modules.keys().cloned().collect();
+        let index: BTreeMap<&ModuleId, usize> =
+            ids.iter().enumerate().map(|(i, id)| (id, i)).collect();
+        let mut dsu = Dsu::new(ids.len());
+        if self.options.use_locality_hints {
+            for h in &app.hints {
+                if let udc_spec::LocalityHint::Colocate(a, b) = h {
+                    if let (Some(&ia), Some(&ib)) = (index.get(a), index.get(b)) {
+                        dsu.union(ia, ib);
+                    }
+                }
+            }
+        }
+        ids.iter()
+            .enumerate()
+            .map(|(i, id)| (id.clone(), dsu.find(i)))
+            .collect()
+    }
+
+    /// Chooses the compute kind for a task from demand, candidates and
+    /// goal (§3.2's "if users only provide a performance/cost goal, then
+    /// UDC will select resources based on load and available hardware").
+    fn choose_compute_kind(&self, dc: &Datacenter, module: &udc_spec::ModuleSpec) -> ResourceKind {
+        // Explicit compute demand wins.
+        for (kind, _) in module.resource.demand.iter() {
+            if kind.is_compute() {
+                return kind;
+            }
+        }
+        let candidates: Vec<ResourceKind> = if module.resource.candidates.is_empty() {
+            vec![
+                ResourceKind::Cpu,
+                ResourceKind::Gpu,
+                ResourceKind::Fpga,
+                ResourceKind::Soc,
+            ]
+        } else {
+            module.resource.candidates.clone()
+        };
+        let available = |k: &ResourceKind| {
+            dc.pool(*k)
+                .map(|p| p.total_capacity() > p.total_used())
+                .unwrap_or(false)
+        };
+        match module.resource.goal {
+            Some(Goal::Fastest) => candidates
+                .iter()
+                .filter(|k| available(k))
+                .max_by(|a, b| {
+                    let pa = udc_hal::PerfProfile::default_for(**a).work_units_per_sec;
+                    let pb = udc_hal::PerfProfile::default_for(**b).work_units_per_sec;
+                    pa.partial_cmp(&pb).expect("profiles are finite")
+                })
+                .copied()
+                .unwrap_or(ResourceKind::Cpu),
+            Some(Goal::Cheapest) | None => candidates
+                .iter()
+                .filter(|k| available(k))
+                .min_by(|a, b| {
+                    // Cost per delivered work unit.
+                    let cost = |k: ResourceKind| {
+                        let p = udc_hal::PerfProfile::default_for(k);
+                        p.micro_dollars_per_unit_hour as f64 / p.work_units_per_sec
+                    };
+                    cost(**a).partial_cmp(&cost(**b)).expect("finite")
+                })
+                .copied()
+                .unwrap_or(ResourceKind::Cpu),
+        }
+    }
+
+    /// Chooses the storage kind for a data module.
+    fn choose_storage_kind(&self, dc: &Datacenter, module: &udc_spec::ModuleSpec) -> ResourceKind {
+        for (kind, _) in module.resource.demand.iter() {
+            if !kind.is_compute() {
+                return kind;
+            }
+        }
+        let exists = |k: ResourceKind| dc.pool(k).map(|p| !p.is_empty()).unwrap_or(false);
+        match module.resource.goal {
+            Some(Goal::Fastest) if exists(ResourceKind::Dram) => ResourceKind::Dram,
+            Some(Goal::Cheapest) if exists(ResourceKind::Hdd) => ResourceKind::Hdd,
+            _ if exists(ResourceKind::Ssd) => ResourceKind::Ssd,
+            _ => ResourceKind::Dram,
+        }
+    }
+
+    fn place_data(
+        &mut self,
+        dc: &mut Datacenter,
+        _app: &AppSpec,
+        module: &udc_spec::ModuleSpec,
+        _so_far: &AppPlacement,
+    ) -> Result<ModulePlacement, SchedError> {
+        let kind = self.choose_storage_kind(dc, module);
+        // Capacity: explicit demand, else bytes rounded up to MiB.
+        let explicit = module.resource.demand.get(kind);
+        let units = if explicit > 0 {
+            explicit
+        } else {
+            module.bytes.unwrap_or(1 << 20).div_ceil(1 << 20).max(1)
+        };
+        let replicas = module.dist.replication;
+        let mut allocations = Vec::new();
+        let mut replica_devices: Vec<DeviceId> = Vec::new();
+        for _ in 0..replicas {
+            let constraints = AllocConstraints {
+                single_device: true,
+                avoid: replica_devices.clone(),
+                ..Default::default()
+            };
+            match dc
+                .pool_mut(kind)
+                .ok_or(SchedError::Alloc {
+                    module: module.id.to_string(),
+                    cause: AllocError::Insufficient {
+                        kind,
+                        requested: units,
+                        available: 0,
+                    },
+                })?
+                .allocate(&self.options.tenant, units, &constraints)
+            {
+                Ok(a) => {
+                    replica_devices.push(a.slices[0].device);
+                    allocations.push(a);
+                }
+                Err(_) => {
+                    // Roll back and report missing failure independence
+                    // or capacity.
+                    for a in &allocations {
+                        dc.release(a);
+                    }
+                    let distinct = dc.pool(kind).map(|p| p.len()).unwrap_or(0);
+                    return if (replicas as usize) > distinct {
+                        Err(SchedError::NotEnoughFailureIndependence {
+                            module: module.id.to_string(),
+                            requested: replicas,
+                            distinct_devices: distinct,
+                        })
+                    } else {
+                        Err(SchedError::Alloc {
+                            module: module.id.to_string(),
+                            cause: AllocError::Insufficient {
+                                kind,
+                                requested: units,
+                                available: dc
+                                    .pool(kind)
+                                    .map(|p| p.total_capacity() - p.total_used())
+                                    .unwrap_or(0),
+                            },
+                        })
+                    };
+                }
+            }
+        }
+        // Data modules live in storage service environments; isolation
+        // maps to the storage-side env (no TEE on storage devices).
+        let env = select_env(&module.exec_env, kind).expect("selection is total");
+        let (start_mode, startup_us) = self.start_env(env);
+        Ok(ModulePlacement {
+            module: module.id.clone(),
+            primary_device: replica_devices[0],
+            replica_devices,
+            allocations,
+            env,
+            start_mode,
+            startup_us,
+            est_exec_us: None,
+            placed_kind: kind,
+        })
+    }
+
+    fn place_task(
+        &mut self,
+        dc: &mut Datacenter,
+        app: &AppSpec,
+        module: &udc_spec::ModuleSpec,
+        so_far: &AppPlacement,
+        colocate_group: &BTreeMap<ModuleId, usize>,
+    ) -> Result<ModulePlacement, SchedError> {
+        let kind = self.choose_compute_kind(dc, module);
+        let explicit = module.resource.demand.get(kind);
+        let units = if explicit > 0 { explicit } else { 1 };
+
+        // Locality: prefer the rack of an affinity data module, else the
+        // rack where a colocation-group member already landed.
+        let preferred_rack = if self.options.use_locality_hints {
+            self.preferred_rack_for(app, module, so_far, colocate_group, dc)
+        } else {
+            None
+        };
+
+        let env = select_env(&module.exec_env, kind).expect("selection is total");
+
+        // Rank candidates with the placement policy.
+        let mut cands = candidates_for(dc, kind, &self.options.tenant, units, preferred_rack);
+        // Deterministic order before scoring.
+        cands.sort_by_key(|c| c.device);
+        let mut best: Option<(i64, DeviceId)> = None;
+        for c in &cands {
+            if let Some(score) = self.options.policy.score(c) {
+                if best.is_none_or(|(s, d)| score > s || (score == s && c.device < d)) {
+                    best = Some((score, c.device));
+                }
+            }
+        }
+        let constraints = AllocConstraints {
+            exclusive: env.single_tenant,
+            prefer_rack: preferred_rack,
+            single_device: true,
+            require_device: if env.single_tenant {
+                // Exclusive placement overrides the policy pick: the
+                // policy ranked by free space, but exclusivity needs a
+                // vacant device, which the allocator finds itself.
+                None
+            } else {
+                best.map(|(_, d)| d)
+            },
+            avoid: Vec::new(),
+        };
+        let pool = dc.pool_mut(kind).ok_or(SchedError::Alloc {
+            module: module.id.to_string(),
+            cause: AllocError::Insufficient {
+                kind,
+                requested: units,
+                available: 0,
+            },
+        })?;
+        let alloc = pool
+            .allocate(&self.options.tenant, units, &constraints)
+            .or_else(|_| {
+                // Fall back to an unpinned allocation (policy pick may
+                // have raced with capacity).
+                let relaxed = AllocConstraints {
+                    exclusive: env.single_tenant,
+                    prefer_rack: preferred_rack,
+                    single_device: true,
+                    require_device: None,
+                    avoid: Vec::new(),
+                };
+                pool.allocate(&self.options.tenant, units, &relaxed)
+            })
+            .map_err(|cause| SchedError::Alloc {
+                module: module.id.to_string(),
+                cause,
+            })?;
+        let device = alloc.slices[0].device;
+
+        // Side-allocations for every other demanded kind (memory,
+        // storage, and secondary compute — a module may need GPU *and*
+        // orchestration CPUs, §1's example).
+        let mut allocations = vec![alloc];
+        for (mem_kind, mem_units) in module.resource.demand.iter() {
+            if mem_kind == kind {
+                continue;
+            }
+            let mem_constraints = AllocConstraints {
+                prefer_rack: dc.fabric().rack_of(device),
+                ..Default::default()
+            };
+            match dc
+                .pool_mut(mem_kind)
+                .map(|p| p.allocate(&self.options.tenant, mem_units, &mem_constraints))
+            {
+                Some(Ok(a)) => allocations.push(a),
+                Some(Err(cause)) => {
+                    for a in &allocations {
+                        dc.release(a);
+                    }
+                    return Err(SchedError::Alloc {
+                        module: module.id.to_string(),
+                        cause,
+                    });
+                }
+                None => {
+                    for a in &allocations {
+                        dc.release(a);
+                    }
+                    return Err(SchedError::Alloc {
+                        module: module.id.to_string(),
+                        cause: AllocError::Insufficient {
+                            kind: mem_kind,
+                            requested: mem_units,
+                            available: 0,
+                        },
+                    });
+                }
+            }
+        }
+
+        // Hot-standby replicas for replicated tasks (Table 1's A4:
+        // "Rep 2x"): extra allocations on distinct devices so the
+        // domain can fail over.
+        let mut replica_devices = vec![device];
+        for _ in 1..module.dist.replication {
+            let standby_constraints = AllocConstraints {
+                exclusive: env.single_tenant,
+                prefer_rack: preferred_rack,
+                single_device: true,
+                require_device: None,
+                avoid: replica_devices.clone(),
+            };
+            match dc
+                .pool_mut(kind)
+                .map(|p| p.allocate(&self.options.tenant, units, &standby_constraints))
+            {
+                Some(Ok(a)) => {
+                    replica_devices.push(a.slices[0].device);
+                    allocations.push(a);
+                }
+                _ => {
+                    for a in &allocations {
+                        dc.release(a);
+                    }
+                    return Err(SchedError::NotEnoughFailureIndependence {
+                        module: module.id.to_string(),
+                        requested: module.dist.replication,
+                        distinct_devices: dc.pool(kind).map(|p| p.len()).unwrap_or(0),
+                    });
+                }
+            }
+        }
+
+        let (start_mode, startup_us) = self.start_env(env);
+        let est_exec_us = module.work_units.map(|w| {
+            let base = dc
+                .device(device)
+                .map(|d| d.exec_time_us(w, units))
+                .unwrap_or(u64::MAX);
+            (base as f64 * env.kind.cost_model().runtime_overhead).ceil() as u64
+        });
+
+        Ok(ModulePlacement {
+            module: module.id.clone(),
+            primary_device: device,
+            replica_devices,
+            allocations,
+            env,
+            start_mode,
+            startup_us,
+            est_exec_us,
+            placed_kind: kind,
+        })
+    }
+
+    fn preferred_rack_for(
+        &self,
+        app: &AppSpec,
+        module: &udc_spec::ModuleSpec,
+        so_far: &AppPlacement,
+        colocate_group: &BTreeMap<ModuleId, usize>,
+        dc: &Datacenter,
+    ) -> Option<u32> {
+        // Affinity to a data module placed earlier.
+        for h in &app.hints {
+            if let udc_spec::LocalityHint::Affinity { task, data } = h {
+                if task == &module.id {
+                    if let Some(p) = so_far.modules.get(data) {
+                        if let Some(rack) = dc.fabric().rack_of(p.primary_device) {
+                            return Some(rack);
+                        }
+                    }
+                }
+            }
+        }
+        // Same rack as an already-placed colocation-group member.
+        let my_group = colocate_group.get(&module.id)?;
+        for (other, group) in colocate_group {
+            if group == my_group && other != &module.id {
+                if let Some(p) = so_far.modules.get(other) {
+                    return dc.fabric().rack_of(p.primary_device);
+                }
+            }
+        }
+        None
+    }
+
+    /// Resizes a placed module's primary allocation to `new_units`
+    /// in place (§3.2 fine-tuning: "enlarging or shrinking the amount of
+    /// resources for a module"). Grows on the same device when it has
+    /// headroom; otherwise falls back to [`Scheduler::migrate`].
+    ///
+    /// Returns the device the module ends up on.
+    pub fn resize(
+        &mut self,
+        dc: &mut Datacenter,
+        placement: &mut ModulePlacement,
+        new_units: u64,
+    ) -> Result<DeviceId, SchedError> {
+        let kind = placement.placed_kind;
+        let device = placement.primary_device;
+        let old_units = placement.allocations[0].total_units();
+        if new_units == old_units {
+            return Ok(device);
+        }
+        if new_units < old_units {
+            // Shrink: release the difference on the same device.
+            let delta = old_units - new_units;
+            if let Some(pool) = dc.pool_mut(kind) {
+                if let Some(d) = pool.device_mut(device) {
+                    d.release(&self.options.tenant, delta);
+                }
+            }
+            placement.allocations[0].slices[0].units = new_units;
+            return Ok(device);
+        }
+        // Grow: try to extend on the same device first.
+        let delta = new_units - old_units;
+        let exclusive = placement.allocations[0].slices[0].exclusive;
+        let grew = dc
+            .pool_mut(kind)
+            .and_then(|p| p.device_mut(device))
+            .map(|d| d.allocate(&self.options.tenant, delta, exclusive))
+            .unwrap_or(false);
+        if grew {
+            placement.allocations[0].slices[0].units = new_units;
+            return Ok(device);
+        }
+        self.migrate(dc, placement, new_units)
+    }
+
+    /// Migrates a module to a device that can host `new_units`
+    /// ("migrating modules across hardware units", §3.2). Allocates at
+    /// the destination before releasing the source (make-before-break),
+    /// and pays the module's state-transfer cost on the fabric.
+    pub fn migrate(
+        &mut self,
+        dc: &mut Datacenter,
+        placement: &mut ModulePlacement,
+        new_units: u64,
+    ) -> Result<DeviceId, SchedError> {
+        let kind = placement.placed_kind;
+        let old_device = placement.primary_device;
+        let exclusive = placement.allocations[0].slices[0].exclusive;
+        let constraints = AllocConstraints {
+            exclusive,
+            prefer_rack: dc.fabric().rack_of(old_device),
+            single_device: true,
+            require_device: None,
+            avoid: vec![old_device],
+        };
+        let new_alloc = dc
+            .pool_mut(kind)
+            .ok_or(SchedError::Alloc {
+                module: placement.module.to_string(),
+                cause: AllocError::Insufficient {
+                    kind,
+                    requested: new_units,
+                    available: 0,
+                },
+            })?
+            .allocate(&self.options.tenant, new_units, &constraints)
+            .map_err(|cause| SchedError::Alloc {
+                module: placement.module.to_string(),
+                cause,
+            })?;
+        let new_device = new_alloc.slices[0].device;
+        // Release the source only after the destination is secured.
+        let old_alloc = std::mem::replace(&mut placement.allocations[0], new_alloc);
+        dc.release(&old_alloc);
+        placement.primary_device = new_device;
+        if let Some(slot) = placement
+            .replica_devices
+            .iter_mut()
+            .find(|d| **d == old_device)
+        {
+            *slot = new_device;
+        }
+        dc.telemetry_mut().incr("migrations", 1);
+        Ok(new_device)
+    }
+
+    fn start_env(&mut self, env: EnvironmentPlan) -> (StartMode, u64) {
+        let was_ready = self.warm_pool.ready(env.kind) > 0;
+        let latency = self.warm_pool.acquire(env.kind);
+        let mode = if was_ready {
+            StartMode::Warm
+        } else {
+            StartMode::Cold
+        };
+        (mode, latency)
+    }
+}
+
+/// Computes the total data-movement cost of a placement: for every
+/// access edge, the bytes of the data module cross the fabric between
+/// the task's device and the data's primary device. Returns
+/// (total transfer microseconds, total bytes moved cross-rack).
+pub fn data_movement(dc: &Datacenter, app: &AppSpec, placement: &AppPlacement) -> (u64, u64) {
+    let before = dc.fabric().traffic_bytes();
+    let mut total_us = 0u64;
+    for e in &app.edges {
+        if e.kind != udc_spec::EdgeKind::Access {
+            continue;
+        }
+        let (task_id, data_id) = {
+            let from_is_data = app.module(&e.from).map(|m| m.kind) == Some(ModuleKind::Data);
+            if from_is_data {
+                (&e.to, &e.from)
+            } else {
+                (&e.from, &e.to)
+            }
+        };
+        let (Some(tp), Some(dp)) = (
+            placement.modules.get(task_id),
+            placement.modules.get(data_id),
+        ) else {
+            continue;
+        };
+        let bytes = app.module(data_id).and_then(|m| m.bytes).unwrap_or(1 << 20);
+        total_us += dc
+            .fabric()
+            .transfer_us(tp.primary_device, dp.primary_device, bytes);
+    }
+    let after = dc.fabric().traffic_bytes();
+    (total_us, after.1 - before.1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udc_spec::{
+        DataSpec, DistributedAspect, EdgeKind, ExecEnvAspect, IsolationLevel, ResourceAspect,
+        TaskSpec,
+    };
+
+    fn dc() -> Datacenter {
+        Datacenter::default()
+    }
+
+    fn simple_app() -> AppSpec {
+        let mut app = AppSpec::new("t");
+        app.add_task(
+            TaskSpec::new("A1")
+                .with_resource(ResourceAspect::default().with_demand(ResourceKind::Cpu, 4))
+                .with_work(100),
+        );
+        app.add_data(DataSpec::new("S1").with_bytes(16 << 20));
+        app.add_edge("A1", "S1", EdgeKind::Access).unwrap();
+        app.affinity("A1", "S1").unwrap();
+        app
+    }
+
+    #[test]
+    fn places_simple_app_exactly() {
+        let mut dc = dc();
+        let mut sched = Scheduler::new(SchedOptions::default());
+        let placement = sched.place_app(&mut dc, &simple_app()).unwrap();
+        assert_eq!(placement.modules.len(), 2);
+        let a1 = &placement.modules[&ModuleId::from("A1")];
+        assert_eq!(a1.placed_kind, ResourceKind::Cpu);
+        assert_eq!(a1.allocations[0].total_units(), 4, "exact fit, no rounding");
+        let s1 = &placement.modules[&ModuleId::from("S1")];
+        assert_eq!(s1.allocations[0].total_units(), 16, "16 MiB on storage");
+        assert!(a1.est_exec_us.is_some());
+    }
+
+    #[test]
+    fn affinity_places_task_near_data() {
+        let mut dc = dc();
+        let mut sched = Scheduler::new(SchedOptions::default());
+        let placement = sched.place_app(&mut dc, &simple_app()).unwrap();
+        let a1 = &placement.modules[&ModuleId::from("A1")];
+        let s1 = &placement.modules[&ModuleId::from("S1")];
+        let ra = dc.fabric().rack_of(a1.primary_device);
+        let rs = dc.fabric().rack_of(s1.primary_device);
+        assert_eq!(ra, rs, "affinity hint should colocate racks");
+    }
+
+    #[test]
+    fn hints_off_ignores_affinity_sometimes_cheaper() {
+        // With hints off placement still succeeds.
+        let mut dc = dc();
+        let mut sched = Scheduler::new(SchedOptions {
+            use_locality_hints: false,
+            ..Default::default()
+        });
+        assert!(sched.place_app(&mut dc, &simple_app()).is_ok());
+    }
+
+    #[test]
+    fn colocated_tasks_share_rack() {
+        let mut app = AppSpec::new("co");
+        app.add_task(
+            TaskSpec::new("A1")
+                .with_resource(ResourceAspect::default().with_demand(ResourceKind::Cpu, 2)),
+        );
+        app.add_task(
+            TaskSpec::new("A2")
+                .with_resource(ResourceAspect::default().with_demand(ResourceKind::Cpu, 2)),
+        );
+        app.colocate("A1", "A2").unwrap();
+        let mut dc = dc();
+        let mut sched = Scheduler::new(SchedOptions::default());
+        let placement = sched.place_app(&mut dc, &app).unwrap();
+        let r1 = dc
+            .fabric()
+            .rack_of(placement.modules[&ModuleId::from("A1")].primary_device);
+        let r2 = dc
+            .fabric()
+            .rack_of(placement.modules[&ModuleId::from("A2")].primary_device);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn replicas_on_distinct_devices() {
+        let mut app = AppSpec::new("rep");
+        app.add_data(
+            DataSpec::new("S1")
+                .with_bytes(4 << 20)
+                .with_dist(DistributedAspect::default().replication(3)),
+        );
+        let mut dc = dc();
+        let mut sched = Scheduler::new(SchedOptions::default());
+        let placement = sched.place_app(&mut dc, &app).unwrap();
+        let s1 = &placement.modules[&ModuleId::from("S1")];
+        assert_eq!(s1.replica_devices.len(), 3);
+        let mut devs = s1.replica_devices.clone();
+        devs.sort();
+        devs.dedup();
+        assert_eq!(devs.len(), 3, "replicas must not share devices");
+    }
+
+    #[test]
+    fn too_many_replicas_reported() {
+        let mut app = AppSpec::new("rep");
+        app.add_data(
+            DataSpec::new("S1")
+                .with_bytes(1 << 20)
+                .with_dist(DistributedAspect::default().replication(16)),
+        );
+        // Datacenter with only 2 SSD shelves.
+        let mut dc = Datacenter::new(udc_hal::DatacenterConfig {
+            pools: vec![udc_hal::PoolConfig {
+                kind: ResourceKind::Ssd,
+                devices: 2,
+                capacity_per_device: 1024,
+            }],
+            racks: 4,
+            fabric: Default::default(),
+        });
+        let mut sched = Scheduler::new(SchedOptions::default());
+        let err = sched.place_app(&mut dc, &app).unwrap_err();
+        assert!(matches!(
+            err,
+            SchedError::NotEnoughFailureIndependence {
+                requested: 16,
+                distinct_devices: 2,
+                ..
+            }
+        ));
+        assert_eq!(
+            dc.pool(ResourceKind::Ssd).unwrap().total_used(),
+            0,
+            "failed placement must roll back"
+        );
+    }
+
+    #[test]
+    fn single_tenant_isolation_gets_exclusive_device() {
+        let mut app = AppSpec::new("iso");
+        app.add_task(
+            TaskSpec::new("A1")
+                .with_resource(ResourceAspect::default().with_demand(ResourceKind::Cpu, 2))
+                .with_exec_env(ExecEnvAspect::isolation(IsolationLevel::Strongest)),
+        );
+        let mut dc = dc();
+        let mut sched = Scheduler::new(SchedOptions::default());
+        let placement = sched.place_app(&mut dc, &app).unwrap();
+        let a1 = &placement.modules[&ModuleId::from("A1")];
+        assert!(a1.env.single_tenant);
+        assert!(a1.allocations[0].slices[0].exclusive);
+        let dev = dc.device(a1.primary_device).unwrap();
+        assert!(dev.is_exclusive());
+    }
+
+    #[test]
+    fn goal_fastest_picks_accelerator() {
+        let mut app = AppSpec::new("fast");
+        app.add_task(
+            TaskSpec::new("A1")
+                .with_resource(ResourceAspect::goal(Goal::Fastest))
+                .with_work(1000),
+        );
+        let mut dc = dc();
+        let mut sched = Scheduler::new(SchedOptions::default());
+        let placement = sched.place_app(&mut dc, &app).unwrap();
+        assert_eq!(
+            placement.modules[&ModuleId::from("A1")].placed_kind,
+            ResourceKind::Gpu,
+            "fastest available compute is the GPU pool"
+        );
+    }
+
+    #[test]
+    fn goal_cheapest_picks_cpu() {
+        let mut app = AppSpec::new("cheap");
+        app.add_task(TaskSpec::new("B2").with_resource(ResourceAspect::goal(Goal::Cheapest)));
+        let mut dc = dc();
+        let mut sched = Scheduler::new(SchedOptions::default());
+        let placement = sched.place_app(&mut dc, &app).unwrap();
+        let kind = placement.modules[&ModuleId::from("B2")].placed_kind;
+        // CPU has the best $-per-work-unit in the default profiles.
+        assert_eq!(kind, ResourceKind::Cpu);
+    }
+
+    #[test]
+    fn warm_pool_reduces_startup() {
+        let app = {
+            let mut a = AppSpec::new("w");
+            a.add_task(TaskSpec::new("A1"));
+            a
+        };
+        let mut dc_cold = dc();
+        let mut cold = Scheduler::new(SchedOptions::default());
+        let p_cold = cold.place_app(&mut dc_cold, &app).unwrap();
+
+        let mut dc_warm = dc();
+        let mut warm = Scheduler::new(SchedOptions {
+            warm_pool: udc_isolate::WarmPoolConfig::uniform(4),
+            ..Default::default()
+        });
+        let p_warm = warm.place_app(&mut dc_warm, &app).unwrap();
+        assert!(p_warm.total_startup_us() < p_cold.total_startup_us());
+        assert_eq!(p_warm.warm_fraction(), 1.0);
+        assert_eq!(p_cold.warm_fraction(), 0.0);
+    }
+
+    #[test]
+    fn release_returns_all_capacity() {
+        let mut dc = dc();
+        let used_before: u64 = ResourceKind::ALL
+            .iter()
+            .filter_map(|k| dc.pool(*k).map(|p| p.total_used()))
+            .sum();
+        let mut sched = Scheduler::new(SchedOptions::default());
+        let placement = sched.place_app(&mut dc, &simple_app()).unwrap();
+        sched.release_app(&mut dc, &placement);
+        let used_after: u64 = ResourceKind::ALL
+            .iter()
+            .filter_map(|k| dc.pool(*k).map(|p| p.total_used()))
+            .sum();
+        assert_eq!(used_before, used_after);
+    }
+
+    #[test]
+    fn data_movement_smaller_with_hints() {
+        let app = simple_app();
+        let mut dc1 = dc();
+        let mut with_hints = Scheduler::new(SchedOptions::default());
+        let p1 = with_hints.place_app(&mut dc1, &app).unwrap();
+        let (us_hints, _) = data_movement(&dc1, &app, &p1);
+
+        let mut dc2 = dc();
+        let mut without = Scheduler::new(SchedOptions {
+            use_locality_hints: false,
+            ..Default::default()
+        });
+        let p2 = without.place_app(&mut dc2, &app).unwrap();
+        let (us_plain, _) = data_movement(&dc2, &app, &p2);
+        assert!(us_hints <= us_plain, "{us_hints} vs {us_plain}");
+    }
+
+    #[test]
+    fn conflict_error_policy_propagates() {
+        use udc_spec::ConsistencyLevel;
+        let mut app = AppSpec::new("c");
+        app.add_task(TaskSpec::new("A"));
+        app.add_task(TaskSpec::new("B"));
+        app.add_data(DataSpec::new("S"));
+        app.add_access_with("A", "S", Some(ConsistencyLevel::Sequential), None)
+            .unwrap();
+        app.add_access_with("B", "S", Some(ConsistencyLevel::Release), None)
+            .unwrap();
+        let mut dc = dc();
+        let mut sched = Scheduler::new(SchedOptions {
+            conflict_policy: ConflictPolicy::Error,
+            ..Default::default()
+        });
+        assert!(matches!(
+            sched.place_app(&mut dc, &app),
+            Err(SchedError::Spec(SpecError::Conflict(_)))
+        ));
+        // Strictest-wins succeeds on the same app.
+        let mut sched2 = Scheduler::new(SchedOptions::default());
+        assert!(sched2.place_app(&mut dc, &app).is_ok());
+    }
+}
+
+#[cfg(test)]
+mod resize_tests {
+    use super::*;
+    use udc_spec::{ResourceAspect, TaskSpec};
+
+    fn one_task_app(cores: u64) -> AppSpec {
+        let mut app = AppSpec::new("r");
+        app.add_task(
+            TaskSpec::new("T")
+                .with_resource(ResourceAspect::default().with_demand(ResourceKind::Cpu, cores)),
+        );
+        app
+    }
+
+    #[test]
+    fn shrink_returns_capacity_in_place() {
+        let mut dc = Datacenter::default();
+        let mut sched = Scheduler::new(SchedOptions::default());
+        let mut placement = sched.place_app(&mut dc, &one_task_app(16)).unwrap();
+        let used_before = dc.pool(ResourceKind::Cpu).unwrap().total_used();
+        let m = placement.modules.get_mut(&ModuleId::from("T")).unwrap();
+        let old_device = m.primary_device;
+        let device = sched.resize(&mut dc, m, 4).unwrap();
+        assert_eq!(device, old_device, "shrink stays in place");
+        assert_eq!(
+            dc.pool(ResourceKind::Cpu).unwrap().total_used(),
+            used_before - 12
+        );
+        assert_eq!(m.allocations[0].total_units(), 4);
+    }
+
+    #[test]
+    fn grow_in_place_when_headroom_exists() {
+        let mut dc = Datacenter::default();
+        let mut sched = Scheduler::new(SchedOptions::default());
+        let mut placement = sched.place_app(&mut dc, &one_task_app(4)).unwrap();
+        let m = placement.modules.get_mut(&ModuleId::from("T")).unwrap();
+        let old_device = m.primary_device;
+        let device = sched.resize(&mut dc, m, 8).unwrap();
+        assert_eq!(device, old_device, "64-core device has headroom");
+        assert_eq!(m.allocations[0].total_units(), 8);
+    }
+
+    #[test]
+    fn grow_migrates_when_device_full() {
+        // A tiny datacenter: two 8-core devices. Fill the module's
+        // device with a second tenant, then grow past its capacity.
+        let mut dc = Datacenter::new(udc_hal::DatacenterConfig {
+            pools: vec![udc_hal::PoolConfig {
+                kind: ResourceKind::Cpu,
+                devices: 2,
+                capacity_per_device: 8,
+            }],
+            racks: 2,
+            fabric: Default::default(),
+        });
+        let mut sched = Scheduler::new(SchedOptions::default());
+        let mut placement = sched.place_app(&mut dc, &one_task_app(4)).unwrap();
+        let m = placement.modules.get_mut(&ModuleId::from("T")).unwrap();
+        let old_device = m.primary_device;
+        // Fill the rest of the old device.
+        dc.pool_mut(ResourceKind::Cpu)
+            .unwrap()
+            .device_mut(old_device)
+            .unwrap()
+            .allocate("other", 4, false);
+        let device = sched.resize(&mut dc, m, 6).unwrap();
+        assert_ne!(device, old_device, "must migrate");
+        assert_eq!(m.primary_device, device);
+        assert_eq!(m.allocations[0].total_units(), 6);
+        // The old allocation was released.
+        let old = dc
+            .pool(ResourceKind::Cpu)
+            .unwrap()
+            .device(old_device)
+            .unwrap();
+        assert_eq!(old.used(), 4, "only the other tenant remains");
+        assert_eq!(dc.telemetry().counter("migrations"), 1);
+    }
+
+    #[test]
+    fn migration_is_make_before_break() {
+        // When no destination exists, the module keeps its old home.
+        let mut dc = Datacenter::new(udc_hal::DatacenterConfig {
+            pools: vec![udc_hal::PoolConfig {
+                kind: ResourceKind::Cpu,
+                devices: 1,
+                capacity_per_device: 8,
+            }],
+            racks: 1,
+            fabric: Default::default(),
+        });
+        let mut sched = Scheduler::new(SchedOptions::default());
+        let mut placement = sched.place_app(&mut dc, &one_task_app(8)).unwrap();
+        let m = placement.modules.get_mut(&ModuleId::from("T")).unwrap();
+        let err = sched.migrate(&mut dc, m, 8);
+        assert!(err.is_err(), "single-device pool has no destination");
+        assert_eq!(m.allocations[0].total_units(), 8, "old allocation intact");
+        assert_eq!(dc.pool(ResourceKind::Cpu).unwrap().total_used(), 8);
+    }
+
+    #[test]
+    fn resize_noop_when_equal() {
+        let mut dc = Datacenter::default();
+        let mut sched = Scheduler::new(SchedOptions::default());
+        let mut placement = sched.place_app(&mut dc, &one_task_app(4)).unwrap();
+        let m = placement.modules.get_mut(&ModuleId::from("T")).unwrap();
+        let before = dc.pool(ResourceKind::Cpu).unwrap().total_used();
+        sched.resize(&mut dc, m, 4).unwrap();
+        assert_eq!(dc.pool(ResourceKind::Cpu).unwrap().total_used(), before);
+    }
+}

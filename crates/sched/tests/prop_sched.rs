@@ -1,0 +1,205 @@
+//! Property-based tests for the scheduler: placements never overcommit
+//! devices, exact-fit allocations match demands, release is complete,
+//! and exclusive placements stay exclusive — across random applications.
+
+use proptest::prelude::*;
+use udc_hal::{Datacenter, DatacenterConfig, FabricConfig, PoolConfig};
+use udc_sched::{SchedOptions, Scheduler};
+use udc_spec::prelude::*;
+
+fn small_dc() -> Datacenter {
+    Datacenter::new(DatacenterConfig {
+        pools: vec![
+            PoolConfig {
+                kind: ResourceKind::Cpu,
+                devices: 8,
+                capacity_per_device: 16,
+            },
+            PoolConfig {
+                kind: ResourceKind::Gpu,
+                devices: 2,
+                capacity_per_device: 4,
+            },
+            PoolConfig {
+                kind: ResourceKind::Dram,
+                devices: 4,
+                capacity_per_device: 64 * 1024,
+            },
+            PoolConfig {
+                kind: ResourceKind::Ssd,
+                devices: 4,
+                capacity_per_device: 1024 * 1024,
+            },
+        ],
+        racks: 4,
+        fabric: FabricConfig::default(),
+    })
+}
+
+#[derive(Debug, Clone)]
+struct GenModule {
+    is_data: bool,
+    cpu: u64,
+    gpu: u64,
+    dram: u64,
+    bytes: u64,
+    replication: u32,
+    isolation: Option<IsolationLevel>,
+}
+
+fn arb_module() -> impl Strategy<Value = GenModule> {
+    (
+        any::<bool>(),
+        0u64..6,
+        0u64..2,
+        0u64..8192,
+        1u64..(64 << 20),
+        1u32..4,
+        prop_oneof![
+            Just(None),
+            Just(Some(IsolationLevel::Weak)),
+            Just(Some(IsolationLevel::Medium)),
+            Just(Some(IsolationLevel::Strong)),
+        ],
+    )
+        .prop_map(
+            |(is_data, cpu, gpu, dram, bytes, replication, isolation)| GenModule {
+                is_data,
+                cpu,
+                gpu,
+                dram,
+                bytes,
+                replication,
+                isolation,
+            },
+        )
+}
+
+fn build_app(mods: &[GenModule]) -> AppSpec {
+    let mut app = AppSpec::new("gen");
+    let mut prev_task: Option<String> = None;
+    for (i, g) in mods.iter().enumerate() {
+        let name = format!("M{i}");
+        if g.is_data {
+            app.add_data(
+                DataSpec::new(&name)
+                    .with_bytes(g.bytes)
+                    .with_dist(DistributedAspect::default().replication(g.replication)),
+            );
+        } else {
+            let mut r = ResourceAspect::default();
+            if g.cpu > 0 {
+                r = r.with_demand(ResourceKind::Cpu, g.cpu);
+            }
+            if g.gpu > 0 {
+                r = r.with_demand(ResourceKind::Gpu, g.gpu);
+            }
+            if g.dram > 0 {
+                r = r.with_demand(ResourceKind::Dram, g.dram);
+            }
+            let mut t = TaskSpec::new(&name).with_resource(r).with_work(10);
+            if let Some(level) = g.isolation {
+                t = t.with_exec_env(ExecEnvAspect::isolation(level));
+            }
+            app.add_task(t);
+            if let Some(prev) = &prev_task {
+                app.add_edge(prev, &name, EdgeKind::Dependency).unwrap();
+            }
+            prev_task = Some(name);
+        }
+    }
+    app
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever the app, a successful placement never overcommits any
+    /// device, honours exact demands, and releases completely.
+    #[test]
+    fn placement_invariants(mods in prop::collection::vec(arb_module(), 1..8)) {
+        let app = build_app(&mods);
+        prop_assume!(app.validate().is_ok());
+        let mut dc = small_dc();
+        let mut sched = Scheduler::new(SchedOptions::default());
+        let result = sched.place_app(&mut dc, &app);
+        // Devices never exceed capacity, success or failure.
+        for kind in ResourceKind::ALL {
+            if let Some(pool) = dc.pool(kind) {
+                for d in pool.devices() {
+                    prop_assert!(d.used() <= d.capacity, "{kind} overcommitted");
+                }
+            }
+        }
+        if let Ok(placement) = result {
+            // Exact fit: allocated == demanded for explicit task demands.
+            for (i, g) in mods.iter().enumerate() {
+                if g.is_data {
+                    continue;
+                }
+                let p = &placement.modules[&udc_spec::ModuleId::from(format!("M{i}").as_str())];
+                if g.cpu > 0 || g.gpu > 0 {
+                    let compute_alloc: u64 = p
+                        .allocations
+                        .iter()
+                        .filter(|a| a.kind.is_compute())
+                        .map(|a| a.total_units())
+                        .sum();
+                    prop_assert!(compute_alloc >= g.cpu.max(g.gpu));
+                }
+                if g.dram > 0 {
+                    let dram: u64 = p
+                        .allocations
+                        .iter()
+                        .filter(|a| a.kind == ResourceKind::Dram)
+                        .map(|a| a.total_units())
+                        .sum();
+                    prop_assert_eq!(dram, g.dram, "exact DRAM fit");
+                }
+            }
+            // Data replicas land on distinct devices.
+            for (i, g) in mods.iter().enumerate() {
+                if !g.is_data {
+                    continue;
+                }
+                let p = &placement.modules[&udc_spec::ModuleId::from(format!("M{i}").as_str())];
+                let mut devs = p.replica_devices.clone();
+                devs.sort();
+                devs.dedup();
+                prop_assert_eq!(devs.len() as u32, g.replication, "replica anti-affinity");
+            }
+            // Release restores a pristine datacenter.
+            sched.release_app(&mut dc, &placement);
+            for kind in ResourceKind::ALL {
+                if let Some(pool) = dc.pool(kind) {
+                    prop_assert_eq!(pool.total_used(), 0, "leaked {}", kind);
+                }
+            }
+        }
+    }
+
+    /// Placement is deterministic: the same app on a fresh datacenter
+    /// lands on the same devices.
+    #[test]
+    fn placement_deterministic(mods in prop::collection::vec(arb_module(), 1..6)) {
+        let app = build_app(&mods);
+        prop_assume!(app.validate().is_ok());
+        let place = || {
+            let mut dc = small_dc();
+            let mut sched = Scheduler::new(SchedOptions::default());
+            sched.place_app(&mut dc, &app).map(|p| {
+                p.modules
+                    .iter()
+                    .map(|(id, m)| (id.clone(), m.primary_device, m.placed_kind))
+                    .collect::<Vec<_>>()
+            })
+        };
+        let a = place();
+        let b = place();
+        match (a, b) {
+            (Ok(x), Ok(y)) => prop_assert_eq!(x, y),
+            (Err(_), Err(_)) => {}
+            other => prop_assert!(false, "non-deterministic outcome: {other:?}"),
+        }
+    }
+}

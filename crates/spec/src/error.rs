@@ -1,0 +1,83 @@
+//! Error types for specification handling.
+
+use std::fmt;
+
+/// Result alias for spec operations.
+pub type SpecResult<T> = Result<T, SpecError>;
+
+/// Errors produced while building, validating or parsing specifications.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// A referenced module does not exist in the application.
+    UnknownModule(String),
+    /// An edge is structurally invalid (self-loop, wrong kinds, ...).
+    InvalidEdge {
+        /// Source endpoint.
+        from: String,
+        /// Destination endpoint.
+        to: String,
+        /// Why the edge was rejected.
+        reason: String,
+    },
+    /// The `Dependency` edges contain a cycle involving this module.
+    Cycle(String),
+    /// A module-level validation failure.
+    InvalidModule {
+        /// The offending module.
+        module: String,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// Aspect specifications on shared data conflict and the policy was
+    /// [`crate::conflict::ConflictPolicy::Error`].
+    Conflict(String),
+    /// A parse error in the `.udc` text format.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// An application-level validation failure.
+    InvalidApp(String),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::UnknownModule(m) => write!(f, "unknown module `{m}`"),
+            SpecError::InvalidEdge { from, to, reason } => {
+                write!(f, "invalid edge {from} -> {to}: {reason}")
+            }
+            SpecError::Cycle(m) => write!(f, "dependency cycle involving `{m}`"),
+            SpecError::InvalidModule { module, reason } => {
+                write!(f, "invalid module `{module}`: {reason}")
+            }
+            SpecError::Conflict(msg) => write!(f, "conflicting specifications: {msg}"),
+            SpecError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            SpecError::InvalidApp(msg) => write!(f, "invalid application: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SpecError::UnknownModule("A9".into());
+        assert!(e.to_string().contains("A9"));
+        let e = SpecError::Parse {
+            line: 7,
+            message: "expected `{`".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+        let e = SpecError::Cycle("A1".into());
+        assert!(e.to_string().contains("cycle"));
+    }
+}

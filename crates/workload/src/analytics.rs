@@ -1,0 +1,85 @@
+//! A batch-analytics fan-out: `split → map×N → reduce` over a cheap
+//! replicated dataset — the "occasionally performing analytics" side of
+//! the paper's hospital example, generalized.
+
+use udc_spec::prelude::*;
+
+/// Builds a map/reduce job with `mappers` parallel map tasks.
+pub fn analytics_fanout(mappers: u32) -> AppSpec {
+    let mappers = mappers.max(1);
+    let mut app = AppSpec::new("analytics");
+    app.add_data(
+        DataSpec::new("dataset")
+            .describe("input dataset")
+            .with_resource(ResourceAspect::goal(Goal::Cheapest))
+            .with_exec_env(ExecEnvAspect::default().with_protection(DataProtection::INTEGRITY_ONLY))
+            .with_dist(DistributedAspect::default().replication(2))
+            .with_bytes(4 << 30),
+    );
+    app.add_data(
+        DataSpec::new("results")
+            .describe("output")
+            .with_resource(ResourceAspect::goal(Goal::Cheapest))
+            .with_bytes(64 << 20),
+    );
+    app.add_task(
+        TaskSpec::new("split")
+            .with_resource(ResourceAspect::default().with_demand(ResourceKind::Cpu, 1))
+            .with_work(20),
+    );
+    for i in 0..mappers {
+        let name = format!("map{i}");
+        app.add_task(
+            TaskSpec::new(&name)
+                .with_resource(ResourceAspect::default().with_demand(ResourceKind::Cpu, 4))
+                .with_dist(DistributedAspect::default().failure(FailureHandling::Reexecute))
+                .with_work(1_000)
+                .with_bytes(128 << 20),
+        );
+        app.add_edge("split", &name, EdgeKind::Dependency).unwrap();
+        app.add_access_with(&name, "dataset", None, None).unwrap();
+    }
+    app.add_task(
+        TaskSpec::new("reduce")
+            .with_resource(ResourceAspect::default().with_demand(ResourceKind::Cpu, 8))
+            .with_dist(
+                DistributedAspect::default()
+                    .failure(FailureHandling::Checkpoint { interval_ms: 5_000 }),
+            )
+            .with_work(500),
+    );
+    for i in 0..mappers {
+        app.add_edge(&format!("map{i}"), "reduce", EdgeKind::Dependency)
+            .unwrap();
+    }
+    app.add_access_with("reduce", "results", None, None)
+        .unwrap();
+    app
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fanout_valid_and_sized() {
+        let app = analytics_fanout(8);
+        app.validate().unwrap();
+        assert_eq!(app.tasks().count(), 10, "split + 8 maps + reduce");
+    }
+
+    #[test]
+    fn reduce_waits_for_all_mappers() {
+        let app = analytics_fanout(4);
+        let order = app.topo_order().unwrap();
+        let pos = |n: &str| order.iter().position(|m| m.as_str() == n).unwrap();
+        for i in 0..4 {
+            assert!(pos(&format!("map{i}")) < pos("reduce"));
+        }
+    }
+
+    #[test]
+    fn single_mapper_minimum() {
+        assert!(analytics_fanout(0).validate().is_ok());
+    }
+}

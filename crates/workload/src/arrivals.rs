@@ -1,0 +1,102 @@
+//! Arrival processes for serving experiments: Poisson (exponential
+//! inter-arrivals) and bursty (on/off modulated Poisson).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates `n` Poisson arrival times (microseconds) with mean rate
+/// `rate_per_sec`. Deterministic per seed.
+pub fn poisson_arrivals(rate_per_sec: f64, n: usize, seed: u64) -> Vec<u64> {
+    assert!(rate_per_sec > 0.0, "rate must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = 0.0f64;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        // Inverse-CDF exponential sampling; clamp u away from 0.
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let dt = -u.ln() / rate_per_sec;
+        t += dt;
+        out.push((t * 1_000_000.0) as u64);
+    }
+    out
+}
+
+/// On/off bursty arrivals: bursts of `burst_rate_per_sec` for
+/// `on_ms`, silence for `off_ms`, repeated until `n` arrivals exist.
+pub fn bursty_arrivals(
+    burst_rate_per_sec: f64,
+    on_ms: u64,
+    off_ms: u64,
+    n: usize,
+    seed: u64,
+) -> Vec<u64> {
+    assert!(burst_rate_per_sec > 0.0, "rate must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n);
+    let mut window_start = 0u64;
+    while out.len() < n {
+        let mut t = window_start as f64 / 1e6;
+        let window_end = window_start + on_ms * 1_000;
+        loop {
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            t += -u.ln() / burst_rate_per_sec;
+            let t_us = (t * 1e6) as u64;
+            if t_us >= window_end || out.len() >= n {
+                break;
+            }
+            out.push(t_us);
+        }
+        window_start = window_end + off_ms * 1_000;
+    }
+    out.truncate(n);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_mean_rate_approximate() {
+        let arrivals = poisson_arrivals(1000.0, 10_000, 1);
+        let span_s = *arrivals.last().unwrap() as f64 / 1e6;
+        let rate = arrivals.len() as f64 / span_s;
+        assert!((rate - 1000.0).abs() / 1000.0 < 0.1, "rate {rate}");
+    }
+
+    #[test]
+    fn arrivals_monotone() {
+        let arrivals = poisson_arrivals(100.0, 1000, 2);
+        for w in arrivals.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(
+            poisson_arrivals(10.0, 100, 3),
+            poisson_arrivals(10.0, 100, 3)
+        );
+        assert_ne!(
+            poisson_arrivals(10.0, 100, 3),
+            poisson_arrivals(10.0, 100, 4)
+        );
+    }
+
+    #[test]
+    fn bursty_has_gaps() {
+        let arrivals = bursty_arrivals(10_000.0, 10, 100, 500, 5);
+        assert_eq!(arrivals.len(), 500);
+        // There must exist an inter-arrival gap near the off period
+        // (100 ms), far larger than in-burst gaps (~0.1 ms).
+        let max_gap = arrivals.windows(2).map(|w| w[1] - w[0]).max().unwrap();
+        assert!(max_gap > 50_000, "max gap {max_gap} us");
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_panics() {
+        poisson_arrivals(0.0, 10, 1);
+    }
+}

@@ -1,0 +1,30 @@
+//! # udc-workload — workload generators for the UDC experiments
+//!
+//! - [`medical::medical_pipeline`] — the paper's own motivating example
+//!   (Fig. 2) with the exact user definitions of Table 1;
+//! - [`mlserving::ml_serving_chain`] — event-triggered ML inference, the
+//!   §1 workload serverless cannot serve (GPU + FaaS);
+//! - [`analytics::analytics_fanout`] — a map/reduce batch job;
+//! - [`microservice::microservice_chain`] — a latency-sensitive RPC
+//!   chain;
+//! - [`random_dag::RandomDagConfig`] — seeded random DAGs with optional
+//!   seeded aspect conflicts (experiment E10);
+//! - [`demand::DemandSampler`] — a realistic mixture of module resource
+//!   demands (experiment E3's 2 000-tenant population);
+//! - [`arrivals`] — Poisson and bursty arrival processes.
+
+pub mod analytics;
+pub mod arrivals;
+pub mod demand;
+pub mod medical;
+pub mod microservice;
+pub mod mlserving;
+pub mod random_dag;
+
+pub use analytics::analytics_fanout;
+pub use arrivals::{bursty_arrivals, poisson_arrivals};
+pub use demand::{DemandClass, DemandSampler};
+pub use medical::medical_pipeline;
+pub use microservice::microservice_chain;
+pub use mlserving::ml_serving_chain;
+pub use random_dag::{random_app, RandomDagConfig};

@@ -1,0 +1,255 @@
+//! The paper's motivating example: medical information processing
+//! (Fig. 2) with the exact user definitions of Table 1.
+//!
+//! "A hospital wants to use the cloud to perform three tasks: securely
+//! storing patients' medical records, securely and quickly diagnosing
+//! patients' medical images, and occasionally performing analytics over
+//! anonymized patient data."
+
+use udc_spec::prelude::*;
+
+/// Builds the medical pipeline.
+///
+/// Modules (Fig. 2) and aspects (Table 1):
+///
+/// | Module | Resource | Exec env & security | Distributed |
+/// |---|---|---|---|
+/// | A1 preprocess | Fastest | single-tenant (or SGX if CPU) | no replication |
+/// | A2 CNN inference | GPU | single-tenant | no rep, checkpoint |
+/// | A3 NLP inference | GPU | single-tenant | no rep, checkpoint |
+/// | A4 diagnosing | CPU | single-tenant & SGX | rep 2×, checkpoint |
+/// | B1 anonymizing | Cheapest | single-tenant (or SGX if CPU) | no replication |
+/// | B2 analytics | Cheapest | containers | no rep, checkpoint |
+/// | S1 medical records | SSD | encryption & integrity | rep 3×, sequential |
+/// | S2 consent forms | Cheapest | encryption & integrity | rep 2×, reader pref |
+/// | S3 medical image | DRAM | encryption & integrity | rep 2× |
+/// | S4 anonymized data | Cheapest | integrity | no rep, release |
+pub fn medical_pipeline() -> AppSpec {
+    let mut app = AppSpec::new("medical");
+
+    // --- Data modules (S1–S4) ---
+    app.add_data(
+        DataSpec::new("S1")
+            .describe("patient medical records")
+            .with_resource(ResourceAspect::default().with_demand(ResourceKind::Ssd, 1024 * 1024))
+            .with_exec_env(
+                ExecEnvAspect::default().with_protection(DataProtection::ENCRYPT_AND_INTEGRITY),
+            )
+            .with_dist(
+                DistributedAspect::default()
+                    .replication(3)
+                    .consistency(ConsistencyLevel::Sequential),
+            )
+            .with_bytes(1 << 30),
+    );
+    app.add_data(
+        DataSpec::new("S2")
+            .describe("patient consent forms")
+            .with_resource(ResourceAspect::goal(Goal::Cheapest))
+            .with_exec_env(
+                ExecEnvAspect::default().with_protection(DataProtection::ENCRYPT_AND_INTEGRITY),
+            )
+            .with_dist(
+                DistributedAspect::default()
+                    .replication(2)
+                    .preference(OpPreference::Reader),
+            )
+            .with_bytes(64 << 20),
+    );
+    app.add_data(
+        DataSpec::new("S3")
+            .describe("medical image, generated at real time")
+            .with_resource(ResourceAspect::default().with_demand(ResourceKind::Dram, 16))
+            .with_exec_env(
+                ExecEnvAspect::default().with_protection(DataProtection::ENCRYPT_AND_INTEGRITY),
+            )
+            .with_dist(DistributedAspect::default().replication(2))
+            .with_bytes(16 << 20),
+    );
+    app.add_data(
+        DataSpec::new("S4")
+            .describe("anonymized records/images")
+            .with_resource(ResourceAspect::goal(Goal::Cheapest))
+            .with_exec_env(ExecEnvAspect::default().with_protection(DataProtection::INTEGRITY_ONLY))
+            .with_dist(DistributedAspect::default().consistency(ConsistencyLevel::Release))
+            .with_bytes(256 << 20),
+    );
+
+    // --- Diagnosis path (A1–A4) ---
+    app.add_task(
+        TaskSpec::new("A1")
+            .describe("preprocessing: resize and greyscale")
+            .with_resource(ResourceAspect::goal(Goal::Fastest))
+            .with_exec_env(
+                ExecEnvAspect::isolation(IsolationLevel::Strong)
+                    .with_tenancy(Tenancy::SingleTenant)
+                    .with_tee_if_cpu(),
+            )
+            .with_work(50)
+            .with_bytes(16 << 20),
+    );
+    app.add_task(
+        TaskSpec::new("A2")
+            .describe("object detection: CNN inference")
+            .with_resource(ResourceAspect::default().with_demand(ResourceKind::Gpu, 1))
+            .with_exec_env(
+                ExecEnvAspect::isolation(IsolationLevel::Strong)
+                    .with_tenancy(Tenancy::SingleTenant),
+            )
+            .with_dist(
+                DistributedAspect::default()
+                    .failure(FailureHandling::Checkpoint { interval_ms: 1_000 }),
+            )
+            .with_work(5_000)
+            .with_bytes(4 << 20),
+    );
+    app.add_task(
+        TaskSpec::new("A3")
+            .describe("medical-record NLP: BERT inference")
+            .with_resource(ResourceAspect::default().with_demand(ResourceKind::Gpu, 1))
+            .with_exec_env(
+                ExecEnvAspect::isolation(IsolationLevel::Strong)
+                    .with_tenancy(Tenancy::SingleTenant),
+            )
+            .with_dist(
+                DistributedAspect::default()
+                    .failure(FailureHandling::Checkpoint { interval_ms: 1_000 }),
+            )
+            .with_work(8_000)
+            .with_bytes(1 << 20),
+    );
+    app.add_task(
+        TaskSpec::new("A4")
+            .describe("automated diagnosis")
+            .with_resource(ResourceAspect::default().with_demand(ResourceKind::Cpu, 2))
+            .with_exec_env(
+                ExecEnvAspect::isolation(IsolationLevel::Strongest)
+                    .with_tenancy(Tenancy::SingleTenant)
+                    .with_tee_if_cpu(),
+            )
+            .with_dist(
+                DistributedAspect::default()
+                    .replication(2)
+                    .failure(FailureHandling::Checkpoint { interval_ms: 500 }),
+            )
+            .with_work(200)
+            .with_bytes(1 << 20),
+    );
+
+    // --- Analytics path (B1–B2) ---
+    app.add_task(
+        TaskSpec::new("B1")
+            .describe("consent filtering and anonymizing")
+            .with_resource(ResourceAspect::goal(Goal::Cheapest))
+            .with_exec_env(
+                ExecEnvAspect::isolation(IsolationLevel::Strong)
+                    .with_tenancy(Tenancy::SingleTenant)
+                    .with_tee_if_cpu(),
+            )
+            .with_work(300)
+            .with_bytes(256 << 20),
+    );
+    app.add_task(
+        TaskSpec::new("B2")
+            .describe("third-party analytics framework")
+            .with_resource(ResourceAspect::goal(Goal::Cheapest))
+            .with_exec_env(ExecEnvAspect::isolation(IsolationLevel::Weak))
+            .with_dist(
+                DistributedAspect::default().failure(FailureHandling::Checkpoint {
+                    interval_ms: 10_000,
+                }),
+            )
+            .with_work(2_000)
+            .with_bytes(64 << 20),
+    );
+
+    // --- Data flow (arrows of Fig. 2) ---
+    app.add_edge("A1", "A2", EdgeKind::Dependency).unwrap();
+    app.add_edge("A2", "A4", EdgeKind::Dependency).unwrap();
+    app.add_edge("A3", "A4", EdgeKind::Dependency).unwrap();
+    app.add_access_with("A1", "S3", None, None).unwrap();
+    app.add_access_with("A3", "S1", Some(ConsistencyLevel::Sequential), None)
+        .unwrap();
+    app.add_access_with("A4", "S1", Some(ConsistencyLevel::Sequential), None)
+        .unwrap();
+    app.add_access_with("B1", "S2", None, None).unwrap();
+    app.add_access_with("B1", "S1", Some(ConsistencyLevel::Sequential), None)
+        .unwrap();
+    app.add_access_with("B1", "S4", None, None).unwrap();
+    app.add_access_with("B2", "S4", Some(ConsistencyLevel::Release), None)
+        .unwrap();
+
+    // --- Locality hints (§3.1's examples: A1+A2 together, S1 near A3) ---
+    app.colocate("A1", "A2").unwrap();
+    app.affinity("A3", "S1").unwrap();
+
+    app
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udc_spec::conflict::detect_conflicts;
+
+    #[test]
+    fn pipeline_is_valid() {
+        let app = medical_pipeline();
+        app.validate().unwrap();
+        assert_eq!(app.len(), 10, "A1-A4, B1-B2, S1-S4");
+        assert_eq!(app.tasks().count(), 6);
+        assert_eq!(app.data().count(), 4);
+    }
+
+    #[test]
+    fn pipeline_is_conflict_free() {
+        let report = detect_conflicts(&medical_pipeline());
+        assert!(report.is_clean(), "{:?}", report.conflicts);
+    }
+
+    #[test]
+    fn table1_aspects_encoded() {
+        let app = medical_pipeline();
+        let s1 = app.module(&"S1".into()).unwrap();
+        assert_eq!(s1.dist.replication, 3);
+        assert_eq!(s1.dist.consistency, Some(ConsistencyLevel::Sequential));
+        assert_eq!(
+            s1.exec_env.protection,
+            Some(DataProtection::ENCRYPT_AND_INTEGRITY)
+        );
+        let s2 = app.module(&"S2".into()).unwrap();
+        assert_eq!(s2.dist.preference, OpPreference::Reader);
+        assert_eq!(s2.dist.replication, 2);
+        let s4 = app.module(&"S4".into()).unwrap();
+        assert_eq!(s4.dist.replication, 1);
+        assert_eq!(s4.exec_env.protection, Some(DataProtection::INTEGRITY_ONLY));
+        let a4 = app.module(&"A4".into()).unwrap();
+        assert_eq!(a4.exec_env.isolation, Some(IsolationLevel::Strongest));
+        assert_eq!(a4.dist.replication, 2);
+        let b2 = app.module(&"B2".into()).unwrap();
+        assert_eq!(b2.exec_env.isolation, Some(IsolationLevel::Weak));
+    }
+
+    #[test]
+    fn diagnosis_path_ordering() {
+        let app = medical_pipeline();
+        let order = app.topo_order().unwrap();
+        let pos = |name: &str| order.iter().position(|m| m.as_str() == name).unwrap();
+        assert!(pos("A1") < pos("A2"));
+        assert!(pos("A2") < pos("A4"));
+        assert!(pos("A3") < pos("A4"));
+    }
+
+    #[test]
+    fn locality_hints_present() {
+        let app = medical_pipeline();
+        assert_eq!(app.hints.len(), 2);
+    }
+
+    #[test]
+    fn round_trips_through_text_format() {
+        let app = medical_pipeline();
+        let text = udc_spec::print_app(&app);
+        let back = udc_spec::parse_app(&text).unwrap();
+        assert_eq!(back, app);
+    }
+}

@@ -1,0 +1,60 @@
+//! A latency-sensitive microservice chain: N RPC hops, each a small
+//! module with its own session-state data module — the "fine-grained
+//! pieces" shape §4 notes microservices already push users toward.
+
+use udc_spec::prelude::*;
+
+/// Builds a chain of `hops` services, each colocated with its session
+/// cache.
+pub fn microservice_chain(hops: u32) -> AppSpec {
+    let hops = hops.max(1);
+    let mut app = AppSpec::new("microservices");
+    for i in 0..hops {
+        let svc = format!("svc{i}");
+        let cache = format!("cache{i}");
+        app.add_task(
+            TaskSpec::new(&svc)
+                .with_resource(ResourceAspect::default().with_demand(ResourceKind::Cpu, 2))
+                .with_exec_env(ExecEnvAspect::isolation(IsolationLevel::Medium))
+                .with_work(30)
+                .with_bytes(16 << 10),
+        );
+        app.add_data(
+            DataSpec::new(&cache)
+                .with_resource(ResourceAspect::default().with_demand(ResourceKind::Dram, 512))
+                .with_dist(DistributedAspect::default().consistency(ConsistencyLevel::Causal))
+                .with_bytes(512 << 20),
+        );
+        app.add_access_with(&svc, &cache, Some(ConsistencyLevel::Causal), None)
+            .unwrap();
+        app.affinity(&svc, &cache).unwrap();
+        if i > 0 {
+            app.add_edge(&format!("svc{}", i - 1), &svc, EdgeKind::Dependency)
+                .unwrap();
+        }
+    }
+    app
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_valid() {
+        let app = microservice_chain(5);
+        app.validate().unwrap();
+        assert_eq!(app.tasks().count(), 5);
+        assert_eq!(app.data().count(), 5);
+        assert_eq!(app.hints.len(), 5);
+    }
+
+    #[test]
+    fn hops_are_ordered() {
+        let app = microservice_chain(3);
+        let order = app.topo_order().unwrap();
+        let pos = |n: &str| order.iter().position(|m| m.as_str() == n).unwrap();
+        assert!(pos("svc0") < pos("svc1"));
+        assert!(pos("svc1") < pos("svc2"));
+    }
+}

@@ -1,0 +1,92 @@
+//! Event-triggered ML inference serving — §1's example of a workload
+//! today's clouds cannot host well: "many ML inference tasks are
+//! event-triggered and could benefit from serverless computing and GPU
+//! acceleration. Despite the high demand for such applications, no cloud
+//! provider has yet supported GPU in their serverless computing
+//! offerings."
+
+use udc_spec::prelude::*;
+
+/// Builds an inference-serving chain: `ingest → preprocess → infer(GPU)
+/// → postprocess`, with a DRAM-resident model-weights data module that
+/// the inference stage has affinity to.
+///
+/// `replicas` fans the GPU inference stage out (e.g. one per active
+/// model shard).
+pub fn ml_serving_chain(replicas: u32) -> AppSpec {
+    let mut app = AppSpec::new("ml-serving");
+    app.add_data(
+        DataSpec::new("weights")
+            .describe("model weights, memory-resident")
+            .with_resource(ResourceAspect::default().with_demand(ResourceKind::Dram, 8 * 1024))
+            .with_exec_env(ExecEnvAspect::default().with_protection(DataProtection::INTEGRITY_ONLY))
+            .with_dist(DistributedAspect::default().replication(replicas.max(1)))
+            .with_bytes(8 << 30),
+    );
+    app.add_task(
+        TaskSpec::new("ingest")
+            .describe("event ingestion")
+            .with_resource(ResourceAspect::default().with_demand(ResourceKind::Cpu, 1))
+            .with_work(10)
+            .with_bytes(1 << 20),
+    );
+    app.add_task(
+        TaskSpec::new("preprocess")
+            .describe("feature extraction")
+            .with_resource(ResourceAspect::default().with_demand(ResourceKind::Cpu, 2))
+            .with_work(40)
+            .with_bytes(1 << 20),
+    );
+    app.add_task(
+        TaskSpec::new("infer")
+            .describe("GPU inference")
+            .with_resource(ResourceAspect::default().with_demand(ResourceKind::Gpu, 1))
+            .with_dist(DistributedAspect::default().failure(FailureHandling::Reexecute))
+            .with_work(2_000)
+            .with_bytes(1 << 20),
+    );
+    app.add_task(
+        TaskSpec::new("postprocess")
+            .describe("result shaping")
+            .with_resource(ResourceAspect::default().with_demand(ResourceKind::Cpu, 1))
+            .with_work(10)
+            .with_bytes(64 << 10),
+    );
+    app.add_edge("ingest", "preprocess", EdgeKind::Dependency)
+        .unwrap();
+    app.add_edge("preprocess", "infer", EdgeKind::Dependency)
+        .unwrap();
+    app.add_edge("infer", "postprocess", EdgeKind::Dependency)
+        .unwrap();
+    app.add_access_with("infer", "weights", None, None).unwrap();
+    app.affinity("infer", "weights").unwrap();
+    app.colocate("ingest", "preprocess").unwrap();
+    app
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_valid() {
+        let app = ml_serving_chain(2);
+        app.validate().unwrap();
+        assert_eq!(app.tasks().count(), 4);
+        assert_eq!(app.data().count(), 1);
+    }
+
+    #[test]
+    fn gpu_demand_present() {
+        let app = ml_serving_chain(1);
+        let infer = app.module(&"infer".into()).unwrap();
+        assert_eq!(infer.resource.demand.get(ResourceKind::Gpu), 1);
+    }
+
+    #[test]
+    fn zero_replicas_clamped() {
+        let app = ml_serving_chain(0);
+        assert_eq!(app.module(&"weights".into()).unwrap().dist.replication, 1);
+        app.validate().unwrap();
+    }
+}

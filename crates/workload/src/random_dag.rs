@@ -1,0 +1,181 @@
+//! Seeded random application generator, with optional seeded aspect
+//! conflicts (experiment E10's detection-rate sweep).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use udc_spec::prelude::*;
+
+/// Parameters for random app generation.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomDagConfig {
+    /// Number of task modules.
+    pub tasks: usize,
+    /// Number of data modules.
+    pub data: usize,
+    /// Probability of an edge between consecutive task layers.
+    pub edge_prob: f64,
+    /// Probability that a data module's accessors are given
+    /// *conflicting* consistency requirements.
+    pub conflict_prob: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomDagConfig {
+    fn default() -> Self {
+        Self {
+            tasks: 20,
+            data: 6,
+            edge_prob: 0.3,
+            conflict_prob: 0.0,
+            seed: 42,
+        }
+    }
+}
+
+const LEVELS: [ConsistencyLevel; 5] = [
+    ConsistencyLevel::Eventual,
+    ConsistencyLevel::Release,
+    ConsistencyLevel::Causal,
+    ConsistencyLevel::Sequential,
+    ConsistencyLevel::Linearizable,
+];
+
+/// Generates a valid random application. Deterministic per seed. The
+/// returned `usize` is the number of *intentionally seeded* conflicts
+/// (ground truth for detection-rate measurements).
+pub fn random_app(config: RandomDagConfig) -> (AppSpec, usize) {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut app = AppSpec::new("random");
+    let tasks = config.tasks.max(1);
+
+    for i in 0..tasks {
+        let mut t = TaskSpec::new(&format!("T{i}"))
+            .with_work(rng.gen_range(10..5_000))
+            .with_bytes(rng.gen_range(1 << 10..64 << 20));
+        t = match rng.gen_range(0..4) {
+            0 => t.with_resource(ResourceAspect::goal(Goal::Fastest)),
+            1 => t.with_resource(ResourceAspect::goal(Goal::Cheapest)),
+            2 => t.with_resource(
+                ResourceAspect::default().with_demand(ResourceKind::Cpu, rng.gen_range(1..8)),
+            ),
+            _ => t,
+        };
+        if rng.gen_bool(0.25) {
+            let level = [
+                IsolationLevel::Weak,
+                IsolationLevel::Medium,
+                IsolationLevel::Strong,
+            ][rng.gen_range(0..3)];
+            t = t.with_exec_env(ExecEnvAspect::isolation(level));
+        }
+        app.add_task(t);
+    }
+
+    // Layered DAG: edges only go forward, guaranteeing acyclicity.
+    for i in 0..tasks {
+        for j in (i + 1)..tasks.min(i + 5) {
+            if rng.gen_bool(config.edge_prob) {
+                app.add_edge(&format!("T{i}"), &format!("T{j}"), EdgeKind::Dependency)
+                    .unwrap();
+            }
+        }
+    }
+
+    let mut seeded_conflicts = 0;
+    for d in 0..config.data {
+        let name = format!("D{d}");
+        app.add_data(
+            DataSpec::new(&name)
+                .with_bytes(rng.gen_range(1 << 20..1 << 30))
+                .with_dist(DistributedAspect::default().replication(rng.gen_range(1..4))),
+        );
+        // Two distinct accessors.
+        let a = rng.gen_range(0..tasks);
+        let b = (a + 1 + rng.gen_range(0..tasks.max(2) - 1)) % tasks;
+        let conflicted = rng.gen_bool(config.conflict_prob) && a != b;
+        if conflicted {
+            // Guaranteed-distinct levels.
+            let la = rng.gen_range(0..LEVELS.len());
+            let lb = (la + 1 + rng.gen_range(0..LEVELS.len() - 1)) % LEVELS.len();
+            app.add_access_with(&format!("T{a}"), &name, Some(LEVELS[la]), None)
+                .unwrap();
+            app.add_access_with(&format!("T{b}"), &name, Some(LEVELS[lb]), None)
+                .unwrap();
+            seeded_conflicts += 1;
+        } else {
+            app.add_access_with(&format!("T{a}"), &name, None, None)
+                .unwrap();
+            if a != b {
+                app.add_access_with(&format!("T{b}"), &name, None, None)
+                    .unwrap();
+            }
+        }
+    }
+
+    (app, seeded_conflicts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udc_spec::conflict::detect_conflicts;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (a, ca) = random_app(RandomDagConfig::default());
+        let (b, cb) = random_app(RandomDagConfig::default());
+        assert_eq!(a, b);
+        assert_eq!(ca, cb);
+        let (c, _) = random_app(RandomDagConfig {
+            seed: 43,
+            ..Default::default()
+        });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn generated_apps_validate() {
+        for seed in 0..20 {
+            let (app, _) = random_app(RandomDagConfig {
+                seed,
+                tasks: 30,
+                data: 8,
+                ..Default::default()
+            });
+            app.validate()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn seeded_conflicts_are_detected() {
+        for seed in 0..10 {
+            let (app, seeded) = random_app(RandomDagConfig {
+                seed,
+                conflict_prob: 1.0,
+                data: 10,
+                ..Default::default()
+            });
+            let report = detect_conflicts(&app);
+            assert!(
+                report.len() >= seeded,
+                "seed {seed}: {} detected < {seeded} seeded",
+                report.len()
+            );
+            assert!(seeded > 0, "seed {seed}: generator should seed conflicts");
+        }
+    }
+
+    #[test]
+    fn no_conflicts_when_probability_zero() {
+        for seed in 0..10 {
+            let (_, seeded) = random_app(RandomDagConfig {
+                seed,
+                conflict_prob: 0.0,
+                ..Default::default()
+            });
+            assert_eq!(seeded, 0);
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! User-defined control-plane behaviour: a tenant ships its own
+//! placement policy as sandboxed bytecode, and the provider runs it
+//! inside the scheduler — the mechanism that makes the cloud
+//! *user-defined* rather than provider-dictated.
+//!
+//! Also demonstrates that a hostile policy (infinite loop) is contained
+//! by gas metering and cannot damage the control plane.
+//!
+//! ```sh
+//! cargo run --example tenant_policy
+//! ```
+
+use udc::extvm::{assemble, VmLimits};
+use udc::hal::Datacenter;
+use udc::sched::{ExtVmPolicy, SchedOptions, Scheduler};
+use udc::workload::ml_serving_chain;
+
+fn main() {
+    let app = ml_serving_chain(1);
+
+    // The provider's default policy packs tightly (best-fit). This
+    // tenant wants the opposite for noisy-neighbour reasons: spread onto
+    // the emptiest devices (worst-fit). Four instructions of policy
+    // bytecode, assembled from the textual form:
+    let worst_fit = assemble(
+        "
+            ; score = free_units - demand  (prefer the emptiest device)
+            arg 0          ; free units on the candidate
+            arg 4          ; our demand
+            sub
+            ret
+        ",
+    )
+    .expect("policy assembles");
+
+    let mut dc = Datacenter::default();
+    let mut sched = Scheduler::new(SchedOptions {
+        policy: Box::new(ExtVmPolicy::new(
+            "worst-fit",
+            worst_fit,
+            VmLimits::default(),
+        )),
+        ..Default::default()
+    });
+    let placement = sched.place_app(&mut dc, &app).expect("placement succeeds");
+    println!(
+        "tenant policy `{}` placed {} modules:",
+        sched.policy_name(),
+        placement.modules.len()
+    );
+    for (id, p) in &placement.modules {
+        println!("  {id:<12} -> device {}", p.primary_device);
+    }
+
+    // A hostile tenant ships an infinite loop. Gas metering traps every
+    // invocation; the scheduler falls back to its own allocator and the
+    // control plane keeps serving everyone.
+    let hostile = assemble("spin: jmp spin").expect("assembles");
+    let mut dc2 = Datacenter::default();
+    let mut sched2 = Scheduler::new(SchedOptions {
+        policy: Box::new(ExtVmPolicy::new(
+            "hostile-loop",
+            hostile,
+            VmLimits {
+                max_gas: 10_000,
+                ..Default::default()
+            },
+        )),
+        ..Default::default()
+    });
+    match sched2.place_app(&mut dc2, &app) {
+        Ok(p) => println!(
+            "\nhostile policy contained: every invocation trapped on gas, \
+             placement fell back to the allocator default ({} modules placed)",
+            p.modules.len()
+        ),
+        Err(e) => println!("\nhostile policy contained: placement refused cleanly ({e})"),
+    }
+}

@@ -1,0 +1,87 @@
+//! Integration tests for the `udc` CLI binary, driven through the real
+//! executable (`CARGO_BIN_EXE_udc`).
+
+use std::process::Command;
+
+fn udc(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_udc"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).to_string(),
+        String::from_utf8_lossy(&out.stderr).to_string(),
+        out.status.success(),
+    )
+}
+
+const MEDICAL: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/examples/specs/medical.udc");
+
+#[test]
+fn check_accepts_the_shipped_spec() {
+    let (stdout, stderr, ok) = udc(&["check", MEDICAL]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("10 modules"), "{stdout}");
+    assert!(stdout.contains("no conflicts"), "{stdout}");
+}
+
+#[test]
+fn plan_lists_every_module() {
+    let (stdout, _, ok) = udc(&["plan", MEDICAL]);
+    assert!(ok);
+    for m in ["A1", "A2", "A3", "A4", "B1", "B2", "S1", "S2", "S3", "S4"] {
+        assert!(stdout.contains(m), "missing {m} in:\n{stdout}");
+    }
+    assert!(stdout.contains("tee_enclave"), "{stdout}");
+}
+
+#[test]
+fn run_reports_and_verifies() {
+    let (stdout, _, ok) = udc(&["run", MEDICAL, "--warm-pool=2"]);
+    assert!(ok, "verification must pass");
+    assert!(stdout.contains("makespan"), "{stdout}");
+    assert!(stdout.contains("sealed transfers"), "{stdout}");
+    assert!(stdout.contains("verification:"), "{stdout}");
+}
+
+#[test]
+fn run_json_emits_valid_json() {
+    let (stdout, _, ok) = udc(&["run", MEDICAL, "--json"]);
+    assert!(ok);
+    let v: serde_json::Value = serde_json::from_str(&stdout).expect("valid JSON");
+    assert!(v.get("makespan_us").is_some());
+    assert!(v.get("timings").is_some());
+}
+
+#[test]
+fn fmt_round_trips() {
+    let (stdout, _, ok) = udc(&["fmt", MEDICAL]);
+    assert!(ok);
+    // The canonical form must itself parse.
+    udc_spec::parse_app(&stdout).expect("canonical output parses");
+}
+
+#[test]
+fn bad_file_fails_cleanly() {
+    let (_, stderr, ok) = udc(&["check", "/nonexistent.udc"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot read"), "{stderr}");
+}
+
+#[test]
+fn bad_syntax_reports_line() {
+    let dir = std::env::temp_dir().join("udc-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.udc");
+    std::fs::write(&bad, "app x {\n  teleport T\n}\n").unwrap();
+    let (_, stderr, ok) = udc(&["check", bad.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("line 2"), "{stderr}");
+}
+
+#[test]
+fn unknown_command_shows_usage() {
+    let (_, stderr, ok) = udc(&["frobnicate", MEDICAL]);
+    assert!(!ok);
+    assert!(stderr.contains("usage:"), "{stderr}");
+}

@@ -1,0 +1,175 @@
+//! End-to-end integration tests spanning every crate: the full
+//! submit → place → run → verify → teardown lifecycle on the paper's
+//! workloads.
+
+use udc::core::{CloudConfig, ModuleVerification, UdcCloud};
+use udc::isolate::WarmPoolConfig;
+use udc::spec::prelude::*;
+use udc::spec::ModuleId;
+use udc::workload::{analytics_fanout, medical_pipeline, microservice_chain, ml_serving_chain};
+
+fn pool_usage(cloud: &UdcCloud) -> u64 {
+    ResourceKind::ALL
+        .iter()
+        .filter_map(|k| cloud.datacenter().pool(*k).map(|p| p.total_used()))
+        .sum()
+}
+
+#[test]
+fn medical_pipeline_full_lifecycle() {
+    let mut cloud = UdcCloud::new(CloudConfig::default());
+    let before = pool_usage(&cloud);
+    let mut dep = cloud.submit(&medical_pipeline()).expect("pipeline places");
+
+    // Placement realizes Table 1.
+    let s1 = &dep.placement.modules[&ModuleId::from("S1")];
+    assert_eq!(s1.replica_devices.len(), 3, "S1: replicate 3x");
+    assert_eq!(s1.placed_kind, ResourceKind::Ssd, "S1: SSD");
+    let a2 = &dep.placement.modules[&ModuleId::from("A2")];
+    assert_eq!(a2.placed_kind, ResourceKind::Gpu, "A2: GPU");
+    assert!(a2.env.single_tenant, "A2: single-tenant");
+    let a4 = &dep.placement.modules[&ModuleId::from("A4")];
+    assert_eq!(a4.replica_devices.len(), 2, "A4: rep 2x");
+    assert!(a4.env.kind.is_tee(), "A4: SGX enclave");
+    let b2 = &dep.placement.modules[&ModuleId::from("B2")];
+    assert!(!b2.env.single_tenant, "B2: plain containers");
+
+    // Execution respects the DAG and applies protection.
+    let report = cloud.run(&dep);
+    assert!(report.makespan_us > 0);
+    let (a1s, a1e) = report.timings[&ModuleId::from("A1")];
+    let (a2s, _) = report.timings[&ModuleId::from("A2")];
+    let (_, a4e) = report.timings[&ModuleId::from("A4")];
+    assert!(a2s >= a1e, "A2 waits for A1");
+    assert!(a4e >= a2s, "A4 after A2 started");
+    assert_eq!(a1s, 0);
+    assert!(
+        report.sealed_messages >= 5,
+        "S1/S2/S3 accesses are protected"
+    );
+    assert!(report.cost.total > 0);
+
+    // The user can verify fulfillment.
+    let verification = cloud.verify_deployment(&dep);
+    assert!(verification.all_fulfilled());
+    assert_eq!(
+        verification.modules[&ModuleId::from("A4")],
+        ModuleVerification::Verified,
+        "strongest isolation is attestable"
+    );
+    assert_eq!(
+        verification.modules[&ModuleId::from("B2")],
+        ModuleVerification::NotVerifiable,
+        "weak isolation requires trusting the provider"
+    );
+
+    // Teardown returns every unit.
+    cloud.teardown(&mut dep);
+    assert_eq!(pool_usage(&cloud), before, "no leaked capacity");
+}
+
+#[test]
+fn all_bundled_workloads_deploy_and_run() {
+    for (name, app) in [
+        ("medical", medical_pipeline()),
+        ("ml-serving", ml_serving_chain(2)),
+        ("analytics", analytics_fanout(6)),
+        ("microservices", microservice_chain(6)),
+    ] {
+        let mut cloud = UdcCloud::new(CloudConfig::default());
+        let mut dep = cloud
+            .submit(&app)
+            .unwrap_or_else(|e| panic!("{name} failed to place: {e}"));
+        let report = cloud.run(&dep);
+        assert!(report.makespan_us > 0, "{name}: zero makespan");
+        assert_eq!(
+            report.timings.len(),
+            app.len(),
+            "{name}: every module must be timed"
+        );
+        cloud.teardown(&mut dep);
+    }
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let run = || {
+        let mut cloud = UdcCloud::new(CloudConfig::default());
+        let dep = cloud.submit(&medical_pipeline()).expect("places");
+        cloud.run(&dep)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "identical configs must produce identical reports");
+}
+
+#[test]
+fn warm_pool_cuts_makespan() {
+    let mut cold_cloud = UdcCloud::new(CloudConfig::default());
+    let cold = {
+        let dep = cold_cloud.submit(&medical_pipeline()).expect("places");
+        cold_cloud.run(&dep)
+    };
+    let mut warm_cloud = UdcCloud::new(CloudConfig {
+        warm_pool: WarmPoolConfig::uniform(10),
+        ..Default::default()
+    });
+    let warm = {
+        let dep = warm_cloud.submit(&medical_pipeline()).expect("places");
+        warm_cloud.run(&dep)
+    };
+    assert_eq!(warm.warm_fraction, 1.0, "pool sized to the app: all warm");
+    assert!(
+        warm.makespan_us < cold.makespan_us,
+        "warm starts must shorten the critical path ({} vs {})",
+        warm.makespan_us,
+        cold.makespan_us
+    );
+}
+
+#[test]
+fn aspects_fall_back_to_provider_defaults() {
+    // "Users could also choose to not define any specifications, in
+    // which case the cloud provider makes the decisions instead."
+    let mut app = AppSpec::new("lazy");
+    app.add_task(TaskSpec::new("T"));
+    app.add_data(DataSpec::new("D"));
+    app.add_edge("T", "D", EdgeKind::Access).unwrap();
+    let mut cloud = UdcCloud::new(CloudConfig::default());
+    let mut dep = cloud.submit(&app).expect("defaults place");
+    let report = cloud.run(&dep);
+    assert_eq!(report.timings.len(), 2);
+    assert_eq!(report.sealed_messages, 0, "no protection requested");
+    cloud.teardown(&mut dep);
+}
+
+#[test]
+fn capacity_exhaustion_is_reported_not_panicked() {
+    // Demand more GPUs than the default datacenter owns.
+    let mut app = AppSpec::new("greedy");
+    app.add_task(
+        TaskSpec::new("big")
+            .with_resource(ResourceAspect::default().with_demand(ResourceKind::Gpu, 10_000)),
+    );
+    let mut cloud = UdcCloud::new(CloudConfig::default());
+    assert!(cloud.submit(&app).is_err());
+    // The failed submit must not leak partial allocations.
+    assert_eq!(pool_usage(&cloud), 0);
+}
+
+#[test]
+fn sequential_tenants_share_the_datacenter() {
+    let mut cloud = UdcCloud::new(CloudConfig::default());
+    let mut deps = Vec::new();
+    for _ in 0..4 {
+        deps.push(cloud.submit(&ml_serving_chain(1)).expect("fits"));
+    }
+    for dep in &deps {
+        let report = cloud.run(dep);
+        assert!(report.makespan_us > 0);
+    }
+    for dep in &mut deps {
+        cloud.teardown(dep);
+    }
+    assert_eq!(pool_usage(&cloud), 0);
+}
