@@ -5,6 +5,7 @@ use crate::actor::{Actor, ActorId, Ctx, Message};
 use crate::supervise::SupervisionPolicy;
 use bytes::Bytes;
 use std::collections::{BTreeMap, VecDeque};
+use udc_telemetry::{Labels, Telemetry};
 
 /// The reliable message log (§3.1: "messages could be reliably recorded
 /// for faster recovery"). Records every *delivered* message in delivery
@@ -76,12 +77,20 @@ pub struct System {
     log: MessageLog,
     next_seq: u64,
     stats: SystemStats,
+    obs: Telemetry,
 }
 
 impl System {
     /// Creates an empty system.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Installs the observability hub: deliveries, failures, restarts
+    /// and dead letters become `actor.*` counters, and the deepest
+    /// mailbox seen is tracked as a gauge high-water mark.
+    pub fn set_observer(&mut self, obs: Telemetry) {
+        self.obs = obs;
     }
 
     /// Registers an actor under `id` with a supervision policy.
@@ -116,8 +125,20 @@ impl System {
 
     fn enqueue(&mut self, msg: Message) {
         match self.actors.get_mut(&msg.to) {
-            Some(r) if !r.stopped => r.mailbox.push_back(msg),
-            _ => self.stats.dead_letters += 1,
+            Some(r) if !r.stopped => {
+                r.mailbox.push_back(msg);
+                if self.obs.is_enabled() {
+                    self.obs.gauge_set(
+                        "actor.mailbox_depth",
+                        Labels::none(),
+                        r.mailbox.len() as i64,
+                    );
+                }
+            }
+            _ => {
+                self.stats.dead_letters += 1;
+                self.obs.incr("actor.dead_letters", Labels::none(), 1);
+            }
         }
     }
 
@@ -147,6 +168,7 @@ impl System {
     fn deliver(&mut self, id: &ActorId, msg: Message, allow_retry: bool) {
         let Some(r) = self.actors.get_mut(id) else {
             self.stats.dead_letters += 1;
+            self.obs.incr("actor.dead_letters", Labels::none(), 1);
             return;
         };
         let mut ctx = Ctx::default();
@@ -154,6 +176,7 @@ impl System {
         match result {
             Ok(()) => {
                 self.stats.delivered += 1;
+                self.obs.incr("actor.delivered", Labels::none(), 1);
                 self.log.record(msg.clone());
                 let from = id.clone();
                 for (to, payload) in ctx.outbox {
@@ -167,14 +190,17 @@ impl System {
             }
             Err(_) => {
                 self.stats.failures += 1;
+                self.obs.incr("actor.failures", Labels::none(), 1);
                 match r.policy {
                     SupervisionPolicy::Restart => {
                         r.actor.reset();
                         self.stats.restarts += 1;
+                        self.obs.incr("actor.restarts", Labels::none(), 1);
                     }
                     SupervisionPolicy::RestartAndRetry => {
                         r.actor.reset();
                         self.stats.restarts += 1;
+                        self.obs.incr("actor.restarts", Labels::none(), 1);
                         if allow_retry {
                             self.deliver(id, msg, false);
                         }
@@ -321,6 +347,31 @@ mod tests {
         assert!(quiescent);
         assert_eq!(sys.stats().delivered, 2);
         assert_eq!(sys.log().len(), 2);
+    }
+
+    #[test]
+    fn observer_counts_deliveries_and_mailbox_high_water() {
+        let mut sys = System::new();
+        let obs = Telemetry::enabled();
+        sys.set_observer(obs.clone());
+        sys.spawn(
+            "c",
+            Box::new(Counter::default()),
+            SupervisionPolicy::Restart,
+        );
+        sys.inject("c", Bytes::from_static(b"1"));
+        sys.inject("c", Bytes::from_static(b"2"));
+        sys.inject("c", Bytes::from_static(b"3"));
+        sys.inject("nobody", Bytes::from_static(b"x"));
+        sys.run_until_quiescent(100);
+        assert_eq!(obs.counter("actor.delivered", &Labels::none()), 3);
+        assert_eq!(obs.counter("actor.dead_letters", &Labels::none()), 1);
+        // Three messages were queued before any was drained.
+        assert_eq!(
+            obs.gauge("actor.mailbox_depth", &Labels::none())
+                .map(|g| g.1),
+            Some(3)
+        );
     }
 
     #[test]

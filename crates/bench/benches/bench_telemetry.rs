@@ -1,0 +1,105 @@
+//! Criterion micro-benchmarks for the telemetry substrate's overhead.
+//!
+//! The control plane carries a `Telemetry` handle everywhere, disabled
+//! by default. These benches pin the cost of that choice: the paired
+//! `disabled`/`enabled` groups re-run `sched/place_medical` and
+//! `actor/deliver_1000` both ways (the disabled numbers must sit within
+//! 5% of the pre-instrumentation baselines recorded in EXPERIMENTS.md),
+//! and the `telemetry/*` functions price the individual no-op calls.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use udc_actor::{Actor, ActorError, Ctx, Message, SupervisionPolicy, System};
+use udc_hal::Datacenter;
+use udc_sched::{SchedOptions, Scheduler};
+use udc_telemetry::{Labels, Telemetry};
+use udc_workload::medical_pipeline;
+
+#[derive(Default)]
+struct Sink {
+    seen: u64,
+}
+
+impl Actor for Sink {
+    fn on_message(&mut self, _ctx: &mut Ctx, _msg: &Message) -> Result<(), ActorError> {
+        self.seen += 1;
+        Ok(())
+    }
+    fn reset(&mut self) {
+        self.seen = 0;
+    }
+}
+
+fn bench_placement_overhead(c: &mut Criterion) {
+    let medical = medical_pipeline();
+    let mut group = c.benchmark_group("telemetry_overhead/place_medical");
+    for (variant, obs) in [
+        ("disabled", Telemetry::disabled()),
+        ("enabled", Telemetry::enabled()),
+    ] {
+        group.bench_function(variant, |b| {
+            b.iter(|| {
+                let mut dc = Datacenter::default();
+                let mut sched = Scheduler::new(SchedOptions::default());
+                dc.set_observer(obs.clone());
+                sched.set_observer(obs.clone());
+                let p = sched.place_app(&mut dc, black_box(&medical)).unwrap();
+                black_box(p);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_actor_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_overhead/deliver_1000");
+    for (variant, obs) in [
+        ("disabled", Telemetry::disabled()),
+        ("enabled", Telemetry::enabled()),
+    ] {
+        group.bench_function(variant, |b| {
+            b.iter(|| {
+                let mut sys = System::new();
+                sys.set_observer(obs.clone());
+                sys.spawn("sink", Box::<Sink>::default(), SupervisionPolicy::Restart);
+                for i in 0..1_000u64 {
+                    sys.inject("sink", Bytes::copy_from_slice(&i.to_le_bytes()));
+                }
+                let (n, _) = sys.run_until_quiescent(usize::MAX);
+                black_box(n)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    let off = Telemetry::disabled();
+    c.bench_function("telemetry/noop_incr", |b| {
+        b.iter(|| off.incr(black_box("bench.counter"), Labels::none(), 1))
+    });
+    c.bench_function("telemetry/noop_span", |b| {
+        b.iter(|| black_box(off.span("bench.span")))
+    });
+
+    let on = Telemetry::enabled();
+    c.bench_function("telemetry/enabled_incr", |b| {
+        b.iter(|| on.incr(black_box("bench.counter"), Labels::none(), 1))
+    });
+    c.bench_function("telemetry/enabled_observe", |b| {
+        let mut v = 0u64;
+        b.iter(|| {
+            v = v.wrapping_add(17) & 0xFFFF;
+            on.observe(black_box("bench.histogram"), Labels::none(), v)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_placement_overhead,
+    bench_actor_overhead,
+    bench_primitives
+);
+criterion_main!(benches);

@@ -4,15 +4,37 @@
 //!
 //! 2 000 tenant demands sampled from a realistic mixture are provisioned
 //! (a) the IaaS way — smallest catalog instance that covers the demand —
-//! and (b) the UDC way — exact-fit pool allocation. We report the
-//! paid-but-unused fraction per class and overall.
+//! and (b) the UDC way — exact-fit pool allocation. Every per-demand
+//! data point is recorded into a `udc-telemetry` registry; the summary
+//! table is rendered *from* the registry and the full snapshot (counters,
+//! waste histograms, measurement events) is exported as structured JSON
+//! into `results/`. Human-readable output goes to stderr; stdout carries
+//! only the path of the JSON artifact.
 
-use udc_baseline::{Catalog, IaasProvisioner};
-use udc_bench::{banner, pct, Table};
+use udc_baseline::Catalog;
+use udc_bench::{banner_stderr, pct, results_path, Table};
+use udc_telemetry::{EventKind, FieldValue, Labels, Telemetry};
 use udc_workload::{DemandClass, DemandSampler};
 
+const DEMANDS_PER_CLASS: usize = 400;
+
+fn class_label(class: DemandClass) -> Labels {
+    Labels::tenant(format!("{class:?}").to_lowercase())
+}
+
+/// UDC exact fit: the tenant pays unit prices for exactly the demand.
+/// Unit prices come from the HAL profiles.
+fn udc_hourly_microdollars(d: &udc_spec::ResourceVector) -> u64 {
+    d.iter()
+        .map(|(k, v)| {
+            (udc_hal::PerfProfile::default_for(k).micro_dollars_per_unit_hour as f64 * v as f64)
+                .round() as u64
+        })
+        .sum()
+}
+
 fn main() {
-    banner(
+    banner_stderr(
         "E3",
         "Paid-but-unused resources: catalog shapes vs exact fit",
         "~35% of public-cloud spend is waste [14]; UDC eliminates shape \
@@ -27,8 +49,65 @@ fn main() {
         DemandClass::StorageHeavy,
     ];
     let catalog = Catalog::aws_2021();
-    let iaas = IaasProvisioner::new();
+    let tel = Telemetry::enabled();
+    let mut sampler = DemandSampler::new(2026);
 
+    // Phase 1: provision each demand both ways, recording every data
+    // point into the registry. Waste is stored in basis points so the
+    // integer histogram keeps sub-percent resolution.
+    for class in classes {
+        let labels = class_label(class);
+        for _ in 0..DEMANDS_PER_CLASS {
+            let d = sampler.sample_of(class);
+            match catalog.cheapest_fitting(&d) {
+                Some(t) => {
+                    tel.incr("exp3.demands", labels.clone(), 1);
+                    tel.incr(
+                        "exp3.iaas.hourly_microdollars",
+                        labels.clone(),
+                        t.hourly_micro_dollars,
+                    );
+                    tel.incr(
+                        "exp3.udc.hourly_microdollars",
+                        labels.clone(),
+                        udc_hourly_microdollars(&d),
+                    );
+                    tel.observe(
+                        "exp3.iaas.waste_bp",
+                        labels.clone(),
+                        (t.waste_fraction(&d) * 10_000.0).round() as u64,
+                    );
+                }
+                None => tel.incr("exp3.unplaceable", labels.clone(), 1),
+            }
+        }
+        let waste = tel
+            .histogram("exp3.iaas.waste_bp", &labels)
+            .expect("every class places at least one demand");
+        tel.event(
+            EventKind::Measurement,
+            labels.clone(),
+            &[
+                ("n", FieldValue::from(tel.counter("exp3.demands", &labels))),
+                ("iaas_mean_waste", FieldValue::from(waste.mean / 10_000.0)),
+                (
+                    "iaas_p95_waste",
+                    FieldValue::from(waste.p95 as f64 / 10_000.0),
+                ),
+                ("udc_waste", FieldValue::from(0.0)),
+                (
+                    "iaas_hourly_microdollars",
+                    FieldValue::from(tel.counter("exp3.iaas.hourly_microdollars", &labels)),
+                ),
+                (
+                    "udc_hourly_microdollars",
+                    FieldValue::from(tel.counter("exp3.udc.hourly_microdollars", &labels)),
+                ),
+            ],
+        );
+    }
+
+    // Phase 2: the human summary, rendered from the registry alone.
     let mut t = Table::new(&[
         "demand class",
         "n",
@@ -37,61 +116,71 @@ fn main() {
         "IaaS $/h",
         "UDC-equivalent $/h",
     ]);
-    let mut sampler = DemandSampler::new(2026);
-    let mut all = Vec::new();
+    let (mut n_all, mut waste_weighted, mut iaas_all, mut udc_all) = (0u64, 0.0f64, 0u64, 0u64);
     for class in classes {
-        let demands: Vec<_> = (0..400).map(|_| sampler.sample_of(class)).collect();
-        let out = iaas.provision(&demands);
-        // UDC: exact fit — the tenant pays unit prices for exactly the
-        // demand. Unit prices from the HAL profiles.
-        let udc_hourly: f64 = demands
-            .iter()
-            .map(|d| {
-                d.iter()
-                    .map(|(k, v)| {
-                        udc_hal::PerfProfile::default_for(k).micro_dollars_per_unit_hour as f64
-                            * v as f64
-                    })
-                    .sum::<f64>()
-            })
-            .sum();
+        let labels = class_label(class);
+        let n = tel.counter("exp3.demands", &labels);
+        let waste = tel.histogram("exp3.iaas.waste_bp", &labels).unwrap();
+        let iaas = tel.counter("exp3.iaas.hourly_microdollars", &labels);
+        let udc = tel.counter("exp3.udc.hourly_microdollars", &labels);
+        n_all += n;
+        waste_weighted += waste.mean * n as f64;
+        iaas_all += iaas;
+        udc_all += udc;
         t.row(&[
             format!("{class:?}"),
-            demands.len().to_string(),
-            pct(out.mean_waste),
+            n.to_string(),
+            pct(waste.mean / 10_000.0),
             pct(0.0),
-            format!("${:.0}", out.hourly_cost as f64 / 1e6),
-            format!("${:.0}", udc_hourly / 1e6),
+            format!("${:.0}", iaas as f64 / 1e6),
+            format!("${:.0}", udc as f64 / 1e6),
         ]);
-        all.extend(demands);
     }
-    let overall = iaas.provision(&all);
     t.row(&[
         "OVERALL".to_string(),
-        all.len().to_string(),
-        pct(overall.mean_waste),
+        n_all.to_string(),
+        pct(waste_weighted / n_all.max(1) as f64 / 10_000.0),
         pct(0.0),
-        format!("${:.0}", overall.hourly_cost as f64 / 1e6),
-        "-".to_string(),
+        format!("${:.0}", iaas_all as f64 / 1e6),
+        format!("${:.0}", udc_all as f64 / 1e6),
     ]);
-    t.print();
+    t.eprint();
 
-    println!();
-    println!("Paper's flagship case — 8 GPUs + 4 vCPUs of orchestration (§1):");
+    // Paper's flagship case — 8 GPUs + 4 vCPUs of orchestration (§1).
     let mut d = udc_spec::ResourceVector::new();
     d.set(udc_spec::ResourceKind::Gpu, 8);
     d.set(udc_spec::ResourceKind::Cpu, 4);
     d.set(udc_spec::ResourceKind::Dram, 64 * 1024);
     let forced = catalog.cheapest_fitting(&d).expect("p3 shapes fit");
-    println!(
+    tel.event(
+        EventKind::Measurement,
+        Labels::tenant("flagship"),
+        &[
+            ("forced_instance", FieldValue::from(forced.name)),
+            ("waste", FieldValue::from(forced.waste_fraction(&d))),
+            ("udc_waste", FieldValue::from(0.0)),
+        ],
+    );
+    eprintln!();
+    eprintln!("Paper's flagship case — 8 GPUs + 4 vCPUs of orchestration (§1):");
+    eprintln!(
         "  forced instance: {} (64 vCPUs for a 4-vCPU need), waste = {}",
         forced.name,
         pct(forced.waste_fraction(&d))
     );
-    println!("  UDC: allocates exactly 8 GPU + 4 CPU + 64 GiB from the pools — waste = 0%");
-    println!();
-    println!(
+    eprintln!("  UDC: allocates exactly 8 GPU + 4 CPU + 64 GiB from the pools — waste = 0%");
+    eprintln!();
+    eprintln!(
         "Expected shape: IaaS overall waste in the 30-40% band (paper cites 35%); \
          UDC waste identically 0 by construction."
     );
+
+    let path = results_path("exp_03_waste.json");
+    let written = tel
+        .snapshot()
+        .write_to(&path)
+        .expect("telemetry export writes");
+    eprintln!();
+    eprintln!("Structured telemetry export: {}", written.display());
+    println!("{}", written.display());
 }

@@ -4,15 +4,20 @@
 //!
 //! Equal total capacity is provisioned two ways — as whole servers
 //! (bin-packing) and as disaggregated pools (exact fit) — and the same
-//! demand stream is admitted until each side saturates. The admitted
-//! count and achieved utilization at saturation give the consolidation
-//! factor.
+//! demand stream is admitted until each side saturates. The pool side
+//! runs with a `udc-telemetry` observer installed on the HAL, so the
+//! admitted count comes from the real `hal.allocations` counter; every
+//! trial's outcome is recorded as gauges and measurement events, the
+//! tables are rendered *from* the registry, and the snapshot is exported
+//! as structured JSON into `results/`. Human-readable output goes to
+//! stderr; stdout carries only the path of the JSON artifact.
 
-use udc_bench::{banner, pct, Table};
+use udc_bench::{banner_stderr, pct, results_path, Table};
 use udc_hal::pool::AllocConstraints;
 use udc_hal::{Datacenter, DatacenterConfig, FabricConfig, PoolConfig};
 use udc_sched::{PackAlgo, ServerCluster, ServerShape};
 use udc_spec::{ResourceKind, ResourceVector};
+use udc_telemetry::{EventKind, FieldValue, Labels, Telemetry};
 use udc_workload::DemandSampler;
 
 const SERVERS: u64 = 64;
@@ -49,7 +54,12 @@ fn matched_pools() -> Datacenter {
     })
 }
 
-fn run_trial(skew_seed: u64) -> (usize, f64, usize, f64) {
+/// Admits the same demand stream into a server fleet and into
+/// matched-capacity pools, recording every outcome under the trial's
+/// tenant label.
+fn run_trial(tel: &Telemetry, skew_seed: u64) {
+    let tenant = format!("seed{skew_seed}");
+    let labels = Labels::tenant(&tenant);
     let mut sampler = DemandSampler::new(skew_seed);
     let demands: Vec<ResourceVector> = sampler.sample_n(4_000);
 
@@ -58,27 +68,28 @@ fn run_trial(skew_seed: u64) -> (usize, f64, usize, f64) {
     // rejected.
     let shape = ServerShape::standard(2);
     let mut cluster = ServerCluster::new(shape.clone());
-    let mut admitted_srv = 0usize;
     for d in &demands {
         if cluster
             .place_bounded(d, PackAlgo::BestFit, SERVERS as usize)
             .is_some()
         {
-            admitted_srv += 1;
+            tel.incr("exp4.server.admitted", labels.clone(), 1);
         }
     }
     let srv_util = cluster.outcome().mean_utilization();
+    tel.gauge_set(
+        "exp4.server.util_bp",
+        labels.clone(),
+        (srv_util * 10_000.0).round() as i64,
+    );
 
-    // Pools: admit the same stream into matched-capacity pools.
+    // Pools: admit the same stream into matched-capacity pools. The
+    // observer makes every successful allocation show up on the real
+    // `hal.allocations` counter under this trial's tenant.
     let mut dc = matched_pools();
-    let mut admitted_pool = 0usize;
+    dc.set_observer(tel.clone());
     for d in &demands {
-        if dc
-            .allocate_vector("t", d, &AllocConstraints::default())
-            .is_ok()
-        {
-            admitted_pool += 1;
-        }
+        let _ = dc.allocate_vector(&tenant, d, &AllocConstraints::default());
     }
     let pool_util = {
         let report = dc.utilization_report();
@@ -89,16 +100,48 @@ fn run_trial(skew_seed: u64) -> (usize, f64, usize, f64) {
             .collect();
         fracs.iter().sum::<f64>() / fracs.len() as f64
     };
-    (admitted_srv, srv_util, admitted_pool, pool_util)
+    tel.gauge_set(
+        "exp4.pool.util_bp",
+        labels.clone(),
+        (pool_util * 10_000.0).round() as i64,
+    );
+
+    let a_srv = tel.counter("exp4.server.admitted", &labels);
+    let a_pool = tel.counter("hal.allocations", &labels);
+    tel.event(
+        EventKind::Measurement,
+        labels,
+        &[
+            ("demands", FieldValue::from(demands.len())),
+            ("server_admitted", FieldValue::from(a_srv)),
+            ("pool_admitted", FieldValue::from(a_pool)),
+            ("server_util", FieldValue::from(srv_util)),
+            ("pool_util", FieldValue::from(pool_util)),
+            (
+                "admission_gain",
+                FieldValue::from(a_pool as f64 / a_srv.max(1) as f64),
+            ),
+            (
+                "util_gain",
+                FieldValue::from(pool_util / srv_util.max(1e-9)),
+            ),
+        ],
+    );
 }
 
 fn main() {
-    banner(
+    banner_stderr(
         "E4",
         "Consolidation: server bin-packing vs disaggregated pools",
         "fine-grained disaggregated deployment improves utilization ~2x [36]",
     );
 
+    let tel = Telemetry::enabled();
+    for seed in 1..=5u64 {
+        run_trial(&tel, seed);
+    }
+
+    // Human summary, rendered from the registry alone.
     let mut t = Table::new(&[
         "trial",
         "servers admitted",
@@ -110,8 +153,11 @@ fn main() {
     ]);
     let mut gains = Vec::new();
     for seed in 1..=5u64 {
-        let (a_srv, u_srv, a_pool, u_pool) = run_trial(seed);
-        let admission_gain = a_pool as f64 / a_srv.max(1) as f64;
+        let labels = Labels::tenant(format!("seed{seed}"));
+        let a_srv = tel.counter("exp4.server.admitted", &labels);
+        let a_pool = tel.counter("hal.allocations", &labels);
+        let u_srv = tel.gauge("exp4.server.util_bp", &labels).unwrap().0 as f64 / 10_000.0;
+        let u_pool = tel.gauge("exp4.pool.util_bp", &labels).unwrap().0 as f64 / 10_000.0;
         let util_gain = u_pool / u_srv.max(1e-9);
         gains.push(util_gain);
         t.row(&[
@@ -120,14 +166,14 @@ fn main() {
             pct(u_srv),
             a_pool.to_string(),
             pct(u_pool),
-            format!("{admission_gain:.2}x"),
+            format!("{:.2}x", a_pool as f64 / a_srv.max(1) as f64),
             format!("{util_gain:.2}x"),
         ]);
     }
-    t.print();
+    t.eprint();
     let mean_gain = gains.iter().sum::<f64>() / gains.len() as f64;
-    println!();
-    println!(
+    eprintln!();
+    eprintln!(
         "Mean utilization gain on the balanced mix: {mean_gain:.2}x. The gain \
          comes from dimension decoupling: a server is full when ANY dimension \
          fills; a pool is full only when ITS dimension fills."
@@ -138,16 +184,10 @@ fn main() {
     // bought in bundled shapes, so a skewed demand ratio strands the
     // other dimensions; pools are provisioned per kind (device-granular)
     // and strand almost nothing.
-    println!();
-    println!("Skew sweep — provision-to-serve (fraction of memory-heavy vs CPU-heavy batch):");
-    let mut s = Table::new(&[
-        "mem-heavy fraction",
-        "servers bought",
-        "server util",
-        "pool util",
-        "util gain",
-    ]);
+    eprintln!();
+    eprintln!("Skew sweep — provision-to-serve (fraction of memory-heavy vs CPU-heavy batch):");
     for pct_mem in [0u64, 25, 50, 75, 100] {
+        let labels = Labels::tenant(format!("mem{pct_mem}"));
         let mut sampler = DemandSampler::new(100 + pct_mem);
         let demands: Vec<ResourceVector> = (0..2_000)
             .map(|i| {
@@ -186,19 +226,74 @@ fn main() {
             pool_fracs.push(units as f64 / (devices * device_cap) as f64);
         }
         let pool_util = pool_fracs.iter().sum::<f64>() / pool_fracs.len().max(1) as f64;
+
+        tel.gauge_set(
+            "exp4.skew.servers_bought",
+            labels.clone(),
+            outcome.servers_used as i64,
+        );
+        tel.gauge_set(
+            "exp4.skew.server_util_bp",
+            labels.clone(),
+            (srv_util * 10_000.0).round() as i64,
+        );
+        tel.gauge_set(
+            "exp4.skew.pool_util_bp",
+            labels.clone(),
+            (pool_util * 10_000.0).round() as i64,
+        );
+        tel.event(
+            EventKind::Measurement,
+            labels,
+            &[
+                (
+                    "mem_heavy_fraction",
+                    FieldValue::from(pct_mem as f64 / 100.0),
+                ),
+                ("servers_bought", FieldValue::from(outcome.servers_used)),
+                ("server_util", FieldValue::from(srv_util)),
+                ("pool_util", FieldValue::from(pool_util)),
+                (
+                    "util_gain",
+                    FieldValue::from(pool_util / srv_util.max(1e-9)),
+                ),
+            ],
+        );
+    }
+    let mut s = Table::new(&[
+        "mem-heavy fraction",
+        "servers bought",
+        "server util",
+        "pool util",
+        "util gain",
+    ]);
+    for pct_mem in [0u64, 25, 50, 75, 100] {
+        let labels = Labels::tenant(format!("mem{pct_mem}"));
+        let bought = tel.gauge("exp4.skew.servers_bought", &labels).unwrap().0;
+        let srv_util = tel.gauge("exp4.skew.server_util_bp", &labels).unwrap().0 as f64 / 10_000.0;
+        let pool_util = tel.gauge("exp4.skew.pool_util_bp", &labels).unwrap().0 as f64 / 10_000.0;
         s.row(&[
             format!("{pct_mem}%"),
-            outcome.servers_used.to_string(),
+            bought.to_string(),
             pct(srv_util),
             pct(pool_util),
             format!("{:.2}x", pool_util / srv_util.max(1e-9)),
         ]);
     }
-    s.print();
-    println!();
-    println!(
+    s.eprint();
+    eprintln!();
+    eprintln!(
         "Expected shape (paper, via LegoOS [36]): ~2x when demand ratios are \
          skewed away from the server shape; the gain shrinks when the mix \
          happens to match the bundle."
     );
+
+    let path = results_path("exp_04_utilization.json");
+    let written = tel
+        .snapshot()
+        .write_to(&path)
+        .expect("telemetry export writes");
+    eprintln!();
+    eprintln!("Structured telemetry export: {}", written.display());
+    println!("{}", written.display());
 }

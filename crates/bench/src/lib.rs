@@ -86,6 +86,12 @@ impl Table {
     pub fn print(&self) {
         print!("{}", self.render());
     }
+
+    /// Prints the table to stderr — for experiments whose stdout is
+    /// reserved for machine-readable output.
+    pub fn eprint(&self) {
+        eprint!("{}", self.render());
+    }
 }
 
 /// Prints an experiment banner.
@@ -93,6 +99,22 @@ pub fn banner(id: &str, title: &str, claim: &str) {
     println!("=== {id}: {title} ===");
     println!("Paper claim: {claim}");
     println!();
+}
+
+/// Prints an experiment banner to stderr — the human-facing channel for
+/// experiments that write structured JSON to `results/`.
+pub fn banner_stderr(id: &str, title: &str, claim: &str) {
+    eprintln!("=== {id}: {title} ===");
+    eprintln!("Paper claim: {claim}");
+    eprintln!();
+}
+
+/// Resolves `results/<name>` at the workspace root, independent of the
+/// directory the experiment is launched from.
+pub fn results_path(name: &str) -> std::path::PathBuf {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let root = root.canonicalize().unwrap_or(root);
+    root.join("results").join(name)
 }
 
 /// Formats microseconds human-readably.

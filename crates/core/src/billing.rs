@@ -10,7 +10,7 @@
 
 use serde::{Deserialize, Serialize};
 use udc_hal::Datacenter;
-use udc_sched::AppPlacement;
+use udc_sched::{AppPlacement, ModulePlacement};
 use udc_spec::ResourceKind;
 
 /// The UDC pricing model.
@@ -59,30 +59,51 @@ impl BillingModel {
         let mut by_kind: std::collections::BTreeMap<ResourceKind, u64> = Default::default();
         let mut surcharge_total = 0u64;
         for m in placement.modules.values() {
-            for alloc in &m.allocations {
-                for slice in &alloc.slices {
-                    let Some(device) = dc.device(slice.device) else {
-                        continue;
-                    };
-                    let base = if slice.exclusive {
-                        let whole = device.cost_of(device.capacity, duration_us);
-                        let with_surcharge =
-                            (whole as f64 * self.exclusive_surcharge).round() as u64;
-                        surcharge_total += with_surcharge.saturating_sub(whole);
-                        with_surcharge
-                    } else {
-                        device.cost_of(slice.units, duration_us)
-                    };
-                    let cost = (base as f64 * self.price_multiplier).round() as u64;
-                    *by_kind.entry(alloc.kind).or_insert(0) += cost;
-                }
-            }
+            self.price_module_into(dc, m, duration_us, &mut by_kind, &mut surcharge_total);
         }
         let total: u64 = by_kind.values().sum();
         CostBreakdown {
             by_kind: by_kind.into_iter().collect(),
             exclusive_surcharge: surcharge_total,
             total,
+        }
+    }
+
+    /// Prices one module held for `duration_us`: the tenant-side
+    /// building block for billing reconciliation (§4) — given observed
+    /// holding time, anyone can recompute what a module should cost.
+    /// Returns total micro-dollars (surcharges included).
+    pub fn price_module(&self, dc: &Datacenter, m: &ModulePlacement, duration_us: u64) -> u64 {
+        let mut by_kind: std::collections::BTreeMap<ResourceKind, u64> = Default::default();
+        let mut surcharge = 0u64;
+        self.price_module_into(dc, m, duration_us, &mut by_kind, &mut surcharge);
+        by_kind.values().sum()
+    }
+
+    fn price_module_into(
+        &self,
+        dc: &Datacenter,
+        m: &ModulePlacement,
+        duration_us: u64,
+        by_kind: &mut std::collections::BTreeMap<ResourceKind, u64>,
+        surcharge_total: &mut u64,
+    ) {
+        for alloc in &m.allocations {
+            for slice in &alloc.slices {
+                let Some(device) = dc.device(slice.device) else {
+                    continue;
+                };
+                let base = if slice.exclusive {
+                    let whole = device.cost_of(device.capacity, duration_us);
+                    let with_surcharge = (whole as f64 * self.exclusive_surcharge).round() as u64;
+                    *surcharge_total += with_surcharge.saturating_sub(whole);
+                    with_surcharge
+                } else {
+                    device.cost_of(slice.units, duration_us)
+                };
+                let cost = (base as f64 * self.price_multiplier).round() as u64;
+                *by_kind.entry(alloc.kind).or_insert(0) += cost;
+            }
         }
     }
 }
@@ -107,23 +128,7 @@ impl BillingModel {
                 .get(id)
                 .map(|(s, e)| e.saturating_sub(*s))
                 .unwrap_or(makespan_us);
-            for alloc in &m.allocations {
-                for slice in &alloc.slices {
-                    let Some(device) = dc.device(slice.device) else {
-                        continue;
-                    };
-                    let base = if slice.exclusive {
-                        let whole = device.cost_of(device.capacity, duration);
-                        let with = (whole as f64 * self.exclusive_surcharge).round() as u64;
-                        surcharge_total += with.saturating_sub(whole);
-                        with
-                    } else {
-                        device.cost_of(slice.units, duration)
-                    };
-                    let cost = (base as f64 * self.price_multiplier).round() as u64;
-                    *by_kind.entry(alloc.kind).or_insert(0) += cost;
-                }
-            }
+            self.price_module_into(dc, m, duration, &mut by_kind, &mut surcharge_total);
         }
         let total: u64 = by_kind.values().sum();
         CostBreakdown {

@@ -3,7 +3,10 @@
 use crate::billing::{BillingModel, CostBreakdown};
 use crate::bundle::{HighLevelObject, ResourceUnit};
 use crate::ir::AppIr;
-use crate::verify::{check_quote, policy_for_module, ModuleVerification, VerificationReport};
+use crate::verify::{
+    check_quote, policy_for_module, BillingCheck, BillingReconciliation, ModuleVerification,
+    VerificationReport,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -14,6 +17,7 @@ use udc_hal::{Datacenter, DatacenterConfig, DeviceId};
 use udc_isolate::{EnvState, Environment, InstanceId, WarmPoolConfig};
 use udc_sched::{data_movement, AppPlacement, SchedError, SchedOptions, Scheduler, StartMode};
 use udc_spec::{AppSpec, ConflictPolicy, EdgeKind, ModuleId, ModuleKind, SpecError};
+use udc_telemetry::{EventKind, FieldValue, Labels, Telemetry};
 
 /// Cloud-wide configuration.
 pub struct CloudConfig {
@@ -92,6 +96,10 @@ pub struct Deployment {
     pub objects: Vec<HighLevelObject>,
     /// Per-data-module sealing keys (derived from the tenant secret).
     pub data_keys: BTreeMap<ModuleId, Key>,
+    /// The billing model advertised when the deployment was accepted —
+    /// the contract billing reconciliation checks charges against, even
+    /// if the provider later changes its prices.
+    pub billing: BillingModel,
     /// Released flag (idempotent teardown).
     released: bool,
 }
@@ -128,6 +136,7 @@ pub struct UdcCloud {
     device_keys: BTreeMap<DeviceId, [u8; 32]>,
     next_instance: u64,
     next_unit: u64,
+    obs: Telemetry,
 }
 
 impl UdcCloud {
@@ -164,7 +173,40 @@ impl UdcCloud {
             device_keys,
             next_instance: 0,
             next_unit: 0,
+            obs: Telemetry::disabled(),
         }
+    }
+
+    /// Installs an observability hub across the whole control plane:
+    /// the datacenter (which points the hub's clock at the simulated
+    /// clock and wires the fabric), the scheduler and its warm pool, and
+    /// the control plane itself.
+    pub fn set_observer(&mut self, obs: Telemetry) {
+        self.dc.set_observer(obs.clone());
+        self.scheduler.set_observer(obs.clone());
+        self.obs = obs;
+    }
+
+    /// Convenience: creates an enabled hub, installs it everywhere, and
+    /// returns a handle for reading metrics and exporting snapshots.
+    pub fn enable_telemetry(&mut self) -> Telemetry {
+        let obs = Telemetry::enabled();
+        self.set_observer(obs.clone());
+        obs
+    }
+
+    /// The installed observability hub (disabled no-op by default).
+    pub fn observer(&self) -> &Telemetry {
+        &self.obs
+    }
+
+    /// Writes the current telemetry snapshot as JSON to `path`
+    /// (typically under `results/`), creating parent directories.
+    pub fn export_telemetry(
+        &self,
+        path: impl AsRef<std::path::Path>,
+    ) -> std::io::Result<std::path::PathBuf> {
+        self.obs.snapshot().write_to(path)
     }
 
     /// The underlying datacenter (inspection and experiments).
@@ -185,8 +227,20 @@ impl UdcCloud {
     /// Submits an application: compile to IR, place, start environments,
     /// derive data keys, build bundles.
     pub fn submit(&mut self, app: &AppSpec) -> Result<Deployment, CloudError> {
+        let _span = self.obs.span("cloud.submit");
         let ir = AppIr::compile(app, self.conflict_policy)?;
         let placement = self.scheduler.place_app(&mut self.dc, &ir.app)?;
+        self.obs
+            .incr("core.submits", Labels::tenant(self.tenant.as_str()), 1);
+        self.obs.event(
+            EventKind::Submit,
+            Labels::tenant(self.tenant.as_str()),
+            &[
+                ("app", FieldValue::from(ir.app.name.as_str())),
+                ("modules", FieldValue::from(placement.modules.len())),
+                ("warm_fraction", FieldValue::from(placement.warm_fraction())),
+            ],
+        );
 
         let mut environments = BTreeMap::new();
         let mut objects = Vec::new();
@@ -243,6 +297,7 @@ impl UdcCloud {
             environments,
             objects,
             data_keys,
+            billing: self.billing,
             released: false,
         })
     }
@@ -255,6 +310,7 @@ impl UdcCloud {
     /// resources are billed for the makespan (they are held for the
     /// run).
     pub fn run(&mut self, dep: &Deployment) -> RunReport {
+        let _span = self.obs.span("cloud.run");
         let app = &dep.ir.app;
         let mut report = RunReport::default();
         let order = app.topo_order().expect("validated at submit");
@@ -355,6 +411,29 @@ impl UdcCloud {
         report.cost =
             self.billing
                 .price_windows(&self.dc, &dep.placement, &task_windows, report.makespan_us);
+        if self.obs.is_enabled() {
+            self.obs
+                .incr("core.runs", Labels::tenant(self.tenant.as_str()), 1);
+            for (id, m) in &dep.placement.modules {
+                // Same holding windows billing uses: tasks pay for their
+                // execution window, data modules for the whole run.
+                let duration = task_windows
+                    .get(id)
+                    .map(|(s, e)| e.saturating_sub(*s))
+                    .unwrap_or(report.makespan_us);
+                let labels = Labels::module(self.tenant.as_str(), id.as_str());
+                let units: u64 = m.allocations.iter().map(|a| a.total_units()).sum();
+                self.obs
+                    .incr("core.module_window_us", labels.clone(), duration);
+                self.obs.incr(
+                    "core.module_unit_us",
+                    labels.clone(),
+                    units.saturating_mul(duration),
+                );
+                let billed = self.billing.price_module(&self.dc, m, duration);
+                self.obs.incr("core.billed_microdollars", labels, billed);
+            }
+        }
         self.dc.clock().advance(report.makespan_us);
         self.dc.telemetry_mut().incr("runs", 1);
         report
@@ -364,6 +443,7 @@ impl UdcCloud {
     /// user-verifiable environment with a fresh nonce and check its
     /// quote against a policy derived from the module's own aspects.
     pub fn verify_deployment(&self, dep: &Deployment) -> VerificationReport {
+        let _span = self.obs.span("cloud.verify");
         // The tenant's verifier trusts the hardware keys (manufacturer
         // chain), not the provider.
         let mut verifier = Verifier::new();
@@ -457,7 +537,61 @@ impl UdcCloud {
                 .modules
                 .insert(id.clone(), check_quote(&verifier, &quote, &nonce, &policy));
         }
+        if self.obs.is_enabled() {
+            report.billing = Some(self.reconcile_billing(dep));
+            self.obs.event(
+                EventKind::Verification,
+                Labels::tenant(self.tenant.as_str()),
+                &[
+                    ("verified", FieldValue::from(report.verified())),
+                    ("failed", FieldValue::from(report.failed())),
+                    ("not_verifiable", FieldValue::from(report.not_verifiable())),
+                    (
+                        "billing_consistent",
+                        FieldValue::from(
+                            report
+                                .billing
+                                .as_ref()
+                                .map(|b| b.consistent())
+                                .unwrap_or(true),
+                        ),
+                    ),
+                ],
+            );
+        }
         report
+    }
+
+    /// Cross-checks what the provider billed (the
+    /// `core.billed_microdollars` counters recorded at run time) against
+    /// the cost the tenant recomputes from telemetry-observed holding
+    /// windows at the prices agreed when the deployment was accepted.
+    /// Per-slice rounding means the recomputation is not bit-exact, so
+    /// bills within 1% (or 2 micro-dollars absolute) pass.
+    fn reconcile_billing(&self, dep: &Deployment) -> BillingReconciliation {
+        let mut rec = BillingReconciliation {
+            tolerance: 0.01,
+            ..Default::default()
+        };
+        for (id, m) in &dep.placement.modules {
+            let labels = Labels::module(self.tenant.as_str(), id.as_str());
+            let billed = self.obs.counter("core.billed_microdollars", &labels);
+            let window = self.obs.counter("core.module_window_us", &labels);
+            if billed == 0 && window == 0 {
+                continue; // Never ran with telemetry on: nothing to check.
+            }
+            let expected = dep.billing.price_module(&self.dc, m, window);
+            let slack = (expected as f64 * rec.tolerance).max(2.0);
+            rec.modules.insert(
+                id.clone(),
+                BillingCheck {
+                    billed,
+                    expected,
+                    within_tolerance: billed.abs_diff(expected) as f64 <= slack,
+                },
+            );
+        }
+        rec
     }
 
     /// One round of §3.2 runtime fine-tuning over a live deployment:
@@ -473,6 +607,7 @@ impl UdcCloud {
         tuner: &mut udc_sched::FineTuner,
         observed_usage: &BTreeMap<ModuleId, f64>,
     ) -> usize {
+        let _span = self.obs.span("cloud.autoscale");
         let now = self.dc.clock().now();
         for (id, usage) in observed_usage {
             self.dc
@@ -498,6 +633,10 @@ impl UdcCloud {
                 .unwrap_or(0);
             let action = tuner.evaluate(id.as_str(), self.dc.telemetry(), current_units, headroom);
             let Some(action) = action else { continue };
+            let (action_name, action_units) = match &action {
+                udc_sched::TuneAction::Resize { to_units, .. } => ("resize", *to_units),
+                udc_sched::TuneAction::Migrate { units, .. } => ("migrate", *units),
+            };
             let p = dep.placement.modules.get_mut(&id).expect("module placed");
             let result = match action {
                 udc_sched::TuneAction::Resize { to_units, .. } => {
@@ -509,6 +648,20 @@ impl UdcCloud {
             };
             if result.is_ok() {
                 applied += 1;
+                self.obs.incr(
+                    "core.autoscale_actions",
+                    Labels::tenant(self.tenant.as_str()),
+                    1,
+                );
+                self.obs.event(
+                    EventKind::Autoscale,
+                    Labels::module(self.tenant.as_str(), id.as_str()),
+                    &[
+                        ("action", FieldValue::from(action_name)),
+                        ("from_units", FieldValue::from(current_units)),
+                        ("to_units", FieldValue::from(action_units)),
+                    ],
+                );
             }
         }
         applied
@@ -527,6 +680,14 @@ impl UdcCloud {
         }
         self.scheduler.release_app(&mut self.dc, &dep.placement);
         dep.released = true;
+        self.obs.event(
+            EventKind::Teardown,
+            Labels::tenant(self.tenant.as_str()),
+            &[
+                ("app", FieldValue::from(dep.ir.app.name.as_str())),
+                ("modules", FieldValue::from(dep.placement.modules.len())),
+            ],
+        );
     }
 
     /// Data-movement metric for a deployment (experiment E13).
@@ -688,6 +849,36 @@ mod tests {
         assert_eq!(s1.fan_out(), 2);
         let devices = s1.devices();
         assert_ne!(devices[0], devices[1]);
+    }
+
+    #[test]
+    fn honest_billing_reconciles_within_tolerance() {
+        let mut cloud = UdcCloud::new(CloudConfig::default());
+        cloud.enable_telemetry();
+        let dep = cloud.submit(&small_app()).unwrap();
+        cloud.run(&dep);
+        let report = cloud.verify_deployment(&dep);
+        let rec = report.billing.as_ref().expect("reconciliation ran");
+        assert!(!rec.modules.is_empty());
+        assert!(rec.consistent(), "honest bill flagged: {rec:?}");
+        assert!(report.all_fulfilled());
+    }
+
+    #[test]
+    fn injected_overbilling_is_flagged() {
+        let mut cloud = UdcCloud::new(CloudConfig::default());
+        cloud.enable_telemetry();
+        let dep = cloud.submit(&small_app()).unwrap();
+        // The provider silently raises prices after the deployment was
+        // accepted: run-time charges use the inflated model while the
+        // deployment still carries the advertised one.
+        cloud.billing.price_multiplier = 1.5;
+        cloud.run(&dep);
+        let report = cloud.verify_deployment(&dep);
+        let rec = report.billing.as_ref().expect("reconciliation ran");
+        assert!(!rec.consistent());
+        assert!(!rec.flagged().is_empty(), "over-billed modules flagged");
+        assert!(!report.all_fulfilled(), "verification must flag the bill");
     }
 
     #[test]

@@ -33,4 +33,7 @@ pub use bundle::{HighLevelObject, ResourceUnit};
 pub use cloud::{CloudConfig, CloudError, Deployment, RunReport, UdcCloud};
 pub use dryrun::{dry_run, TaskProfile, TrialResult};
 pub use ir::{AppIr, ModuleIr};
-pub use verify::{check_quote, policy_for_module, ModuleVerification, VerificationReport};
+pub use verify::{
+    check_quote, policy_for_module, BillingCheck, BillingReconciliation, ModuleVerification,
+    VerificationReport,
+};

@@ -32,11 +32,56 @@ pub enum ModuleVerification {
     NotVerifiable,
 }
 
+/// One module's billing cross-check: the amount the provider charged
+/// (from the `core.billed_microdollars` telemetry counter) against what
+/// the tenant recomputes from telemetry-observed holding time at the
+/// prices agreed at submit.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BillingCheck {
+    /// Micro-dollars the provider recorded as billed.
+    pub billed: u64,
+    /// Micro-dollars expected from observed usage at agreed prices.
+    pub expected: u64,
+    /// Whether `billed` is within the reconciliation tolerance of
+    /// `expected`.
+    pub within_tolerance: bool,
+}
+
+/// Telemetry-vs-billing reconciliation across a deployment (§4: "how
+/// can users trust the cloud?" — by recomputing the bill from what
+/// observably happened).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct BillingReconciliation {
+    /// Per-module checks (only modules with recorded usage appear).
+    pub modules: BTreeMap<ModuleId, BillingCheck>,
+    /// Relative tolerance applied (rounding happens per device slice).
+    pub tolerance: f64,
+}
+
+impl BillingReconciliation {
+    /// True when every checked module's bill matched expectations.
+    pub fn consistent(&self) -> bool {
+        self.modules.values().all(|c| c.within_tolerance)
+    }
+
+    /// Modules whose bill fell outside tolerance.
+    pub fn flagged(&self) -> Vec<&ModuleId> {
+        self.modules
+            .iter()
+            .filter(|(_, c)| !c.within_tolerance)
+            .map(|(id, _)| id)
+            .collect()
+    }
+}
+
 /// The per-deployment verification report.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct VerificationReport {
     /// Per-module outcome.
     pub modules: BTreeMap<ModuleId, ModuleVerification>,
+    /// Billing reconciliation, present when the cloud runs with
+    /// telemetry enabled and the deployment has recorded usage.
+    pub billing: Option<BillingReconciliation>,
 }
 
 impl VerificationReport {
@@ -65,9 +110,15 @@ impl VerificationReport {
     }
 
     /// True when nothing failed (unverifiable modules are allowed; the
-    /// user chose those isolation levels).
+    /// user chose those isolation levels) and, when a billing
+    /// reconciliation ran, every module's bill matched observed usage.
     pub fn all_fulfilled(&self) -> bool {
         self.failed() == 0
+            && self
+                .billing
+                .as_ref()
+                .map(|b| b.consistent())
+                .unwrap_or(true)
     }
 }
 

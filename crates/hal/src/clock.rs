@@ -5,8 +5,8 @@
 //! deterministic and lets a laptop simulate hours of datacenter time in
 //! milliseconds.
 
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Virtual time in microseconds since simulation start.
 pub type Micros = u64;
@@ -20,12 +20,15 @@ pub const SEC: Micros = 1_000_000;
 
 /// A shared, cheaply clonable virtual clock.
 ///
-/// Cloning yields a handle onto the *same* clock (interior `Rc`), so a
-/// datacenter and its pools all observe one timeline. The simulator is
-/// single-threaded by design; determinism, not parallelism, is the goal.
+/// Cloning yields a handle onto the *same* clock (interior `Arc`), so a
+/// datacenter and its pools all observe one timeline. The atomic cell
+/// makes handles `Send + Sync`, which lets the clock double as the
+/// timestamp source for `udc-telemetry` spans; the simulator itself is
+/// still single-threaded by design — determinism, not parallelism, is
+/// the goal.
 #[derive(Debug, Clone, Default)]
 pub struct SimClock {
-    now: Rc<Cell<Micros>>,
+    now: Arc<AtomicU64>,
 }
 
 impl SimClock {
@@ -36,23 +39,26 @@ impl SimClock {
 
     /// Current virtual time.
     pub fn now(&self) -> Micros {
-        self.now.get()
+        self.now.load(Ordering::Relaxed)
     }
 
     /// Advances time by `delta` microseconds and returns the new time.
     pub fn advance(&self, delta: Micros) -> Micros {
-        let t = self.now.get().saturating_add(delta);
-        self.now.set(t);
+        let t = self.now().saturating_add(delta);
+        self.now.store(t, Ordering::Relaxed);
         t
     }
 
     /// Advances time to an absolute instant. Time never goes backwards;
     /// an earlier target leaves the clock unchanged.
     pub fn advance_to(&self, t: Micros) -> Micros {
-        if t > self.now.get() {
-            self.now.set(t);
+        let cur = self.now();
+        if t > cur {
+            self.now.store(t, Ordering::Relaxed);
+            t
+        } else {
+            cur
         }
-        self.now.get()
     }
 }
 
@@ -97,5 +103,11 @@ mod tests {
         c.advance(u64::MAX);
         c.advance(10);
         assert_eq!(c.now(), u64::MAX);
+    }
+
+    #[test]
+    fn handles_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimClock>();
     }
 }

@@ -11,6 +11,7 @@ use crate::telemetry::Telemetry;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use udc_spec::{ResourceKind, ResourceVector};
+use udc_telemetry::{EventKind, FieldValue, Labels};
 
 /// Configuration of one pool: how many devices and how large each is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -97,6 +98,10 @@ pub struct Datacenter {
     pools: BTreeMap<ResourceKind, ResourcePool>,
     fabric: Fabric,
     telemetry: Telemetry,
+    /// Control-plane observability hub (disabled by default); distinct
+    /// from the legacy `telemetry` counters above, which feed the
+    /// fine-tuner's usage estimator.
+    obs: udc_telemetry::Telemetry,
     failure_plan: FailurePlan,
     next_device_id: u32,
     racks: usize,
@@ -110,6 +115,7 @@ impl Datacenter {
             pools: BTreeMap::new(),
             fabric: Fabric::new(config.fabric),
             telemetry: Telemetry::new(),
+            obs: udc_telemetry::Telemetry::disabled(),
             failure_plan: FailurePlan::none(),
             next_device_id: 0,
             racks: config.racks.max(1),
@@ -157,6 +163,40 @@ impl Datacenter {
         &mut self.telemetry
     }
 
+    /// Installs the control-plane observability hub. The hub's clock is
+    /// pointed at this datacenter's [`SimClock`] so spans and events are
+    /// stamped with simulated time, and the fabric starts reporting
+    /// transfer counters into the same hub.
+    pub fn set_observer(&mut self, obs: udc_telemetry::Telemetry) {
+        let clock = self.clock.clone();
+        obs.set_clock(move || clock.now());
+        self.fabric.set_observer(obs.clone());
+        self.obs = obs;
+    }
+
+    /// The control-plane observability hub (disabled unless installed).
+    pub fn observer(&self) -> &udc_telemetry::Telemetry {
+        &self.obs
+    }
+
+    /// Reports each pool's used units as `hal.pool.<kind>.used_units`
+    /// gauges; the gauges' high-water marks give allocation watermarks.
+    /// Called after every vector allocation/release; callers that carve
+    /// pools directly via [`Datacenter::pool_mut`] (the scheduler)
+    /// should call it themselves once their allocations settle.
+    pub fn observe_pool_levels(&self) {
+        if !self.obs.is_enabled() {
+            return;
+        }
+        for pool in self.pools.values() {
+            self.obs.gauge_set(
+                &format!("hal.pool.{}.used_units", pool.kind().name()),
+                Labels::none(),
+                pool.total_used() as i64,
+            );
+        }
+    }
+
     /// The pool for a kind, if it exists.
     pub fn pool(&self, kind: ResourceKind) -> Option<&ResourcePool> {
         self.pools.get(&kind)
@@ -184,11 +224,27 @@ impl Datacenter {
                     if ev.crash {
                         let victims = d.fail();
                         self.telemetry.incr("device_crashes", 1);
-                        let _ = victims;
+                        self.obs.event(
+                            EventKind::Failure,
+                            Labels::none(),
+                            &[
+                                ("device", FieldValue::from(ev.device.0)),
+                                ("action", FieldValue::from("crash")),
+                                ("evicted_allocations", FieldValue::from(victims.len())),
+                            ],
+                        );
                         crashed.push(ev.device);
                     } else {
                         d.repair();
                         self.telemetry.incr("device_repairs", 1);
+                        self.obs.event(
+                            EventKind::Failure,
+                            Labels::none(),
+                            &[
+                                ("device", FieldValue::from(ev.device.0)),
+                                ("action", FieldValue::from("repair")),
+                            ],
+                        );
                     }
                 }
             }
@@ -231,6 +287,10 @@ impl Datacenter {
             }
         }
         self.telemetry.incr("allocations", 1);
+        if self.obs.is_enabled() {
+            self.obs.incr("hal.allocations", Labels::tenant(tenant), 1);
+            self.observe_pool_levels();
+        }
         Ok(held)
     }
 
@@ -239,6 +299,7 @@ impl Datacenter {
         if let Some(pool) = self.pools.get_mut(&alloc.kind) {
             pool.release(alloc);
         }
+        self.observe_pool_levels();
     }
 
     /// Overall utilization per kind: (kind, used, capacity).
@@ -398,6 +459,42 @@ mod tests {
             .unwrap();
         // 8 of 16 CPU + 0 of 4 GPU = 8/20.
         assert!((dc.compute_utilization() - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn observer_sees_allocations_traffic_and_sim_time() {
+        let mut dc = small_dc();
+        let obs = udc_telemetry::Telemetry::enabled();
+        dc.set_observer(obs.clone());
+        dc.clock().advance(42);
+
+        let demand = ResourceVector::new().with(ResourceKind::Cpu, 4);
+        let allocs = dc
+            .allocate_vector("acme", &demand, &AllocConstraints::default())
+            .unwrap();
+        assert_eq!(obs.counter("hal.allocations", &Labels::tenant("acme")), 1);
+        assert_eq!(
+            obs.gauge("hal.pool.cpu.used_units", &Labels::none()),
+            Some((4, 4))
+        );
+        dc.release(&allocs[0]);
+        // Current level falls, the high-water mark stays.
+        assert_eq!(
+            obs.gauge("hal.pool.cpu.used_units", &Labels::none()),
+            Some((0, 4))
+        );
+
+        // Devices 0 and 2 share rack 0 (round-robin over 2 racks).
+        dc.fabric().transfer_us(DeviceId(0), DeviceId(2), 100);
+        assert_eq!(obs.counter("hal.fabric.transfers", &Labels::none()), 1);
+        assert_eq!(
+            obs.counter("hal.fabric.intra_rack_bytes", &Labels::none()),
+            100
+        );
+
+        // Spans opened on the hub are stamped with simulated time.
+        obs.span("hal.test").exit();
+        assert_eq!(obs.snapshot().spans[0].start_us, 42);
     }
 
     #[test]

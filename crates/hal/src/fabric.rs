@@ -11,6 +11,7 @@ use crate::device::DeviceId;
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
+use udc_telemetry::{Labels, Telemetry};
 
 /// Where a device sits in the topology.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -42,6 +43,9 @@ pub struct Fabric {
     /// (bytes moved intra-rack, bytes moved cross-rack); RefCell so
     /// transfer accounting works through a shared reference.
     traffic: RefCell<Traffic>,
+    /// Observability hub; disabled (no-op) unless installed via
+    /// [`Fabric::set_observer`].
+    obs: Telemetry,
 }
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -71,7 +75,14 @@ impl Fabric {
             config,
             locations: BTreeMap::new(),
             traffic: RefCell::new(Traffic::default()),
+            obs: Telemetry::disabled(),
         }
+    }
+
+    /// Installs the observability hub; transfers are reported as
+    /// `hal.fabric.*` counters from then on.
+    pub fn set_observer(&mut self, obs: Telemetry) {
+        self.obs = obs;
     }
 
     /// Registers a device's location.
@@ -112,13 +123,22 @@ impl Fabric {
             self.config.cross_rack_bandwidth_bytes_per_us
         };
         let serialization = (bytes as f64 / bandwidth).ceil() as Micros;
-        let mut t = self.traffic.borrow_mut();
-        t.transfers += 1;
-        if same_rack {
-            t.intra_rack_bytes += bytes;
-        } else {
-            t.cross_rack_bytes += bytes;
+        {
+            let mut t = self.traffic.borrow_mut();
+            t.transfers += 1;
+            if same_rack {
+                t.intra_rack_bytes += bytes;
+            } else {
+                t.cross_rack_bytes += bytes;
+            }
         }
+        self.obs.incr("hal.fabric.transfers", Labels::none(), 1);
+        let bytes_series = if same_rack {
+            "hal.fabric.intra_rack_bytes"
+        } else {
+            "hal.fabric.cross_rack_bytes"
+        };
+        self.obs.incr(bytes_series, Labels::none(), bytes);
         latency + serialization
     }
 

@@ -10,6 +10,7 @@
 use crate::env::EnvKind;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use udc_telemetry::{EventKind, FieldValue, Labels, Telemetry};
 
 /// Warm-pool sizing per environment class.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -69,6 +70,8 @@ pub struct WarmPool {
     config: WarmPoolConfig,
     ready: BTreeMap<EnvKind, usize>,
     stats: WarmPoolStats,
+    /// Observability hub (disabled no-op by default).
+    obs: Telemetry,
 }
 
 impl WarmPool {
@@ -84,7 +87,15 @@ impl WarmPool {
                 prewarmed,
                 ..Default::default()
             },
+            obs: Telemetry::disabled(),
         }
+    }
+
+    /// Installs the observability hub: hits/misses become
+    /// `isolate.warmpool.*` counters, start latencies feed histograms,
+    /// and every miss logs a cold-start flight event.
+    pub fn set_observer(&mut self, obs: Telemetry) {
+        self.obs = obs;
     }
 
     /// Attempts to draw a warm instance of `kind`. Returns the startup
@@ -95,10 +106,24 @@ impl WarmPool {
             Some(n) if *n > 0 => {
                 *n -= 1;
                 self.stats.hits += 1;
+                self.obs.incr("isolate.warmpool.hits", Labels::none(), 1);
+                self.obs
+                    .observe("isolate.warm_start_us", Labels::none(), m.warm_start_us);
                 m.warm_start_us
             }
             _ => {
                 self.stats.misses += 1;
+                self.obs.incr("isolate.warmpool.misses", Labels::none(), 1);
+                self.obs
+                    .observe("isolate.cold_start_us", Labels::none(), m.cold_start_us);
+                self.obs.event(
+                    EventKind::ColdStart,
+                    Labels::none(),
+                    &[
+                        ("env", FieldValue::from(kind.name())),
+                        ("latency_us", FieldValue::from(m.cold_start_us)),
+                    ],
+                );
                 m.cold_start_us
             }
         }
@@ -180,6 +205,24 @@ mod tests {
     fn stats_track_prewarm_cost() {
         let p = WarmPool::new(WarmPoolConfig::uniform(3));
         assert_eq!(p.stats().prewarmed, 3 * EnvKind::ALL.len() as u64);
+    }
+
+    #[test]
+    fn observer_records_hits_misses_and_cold_start_events() {
+        let mut p = WarmPool::new(WarmPoolConfig::disabled().with(EnvKind::Container, 1));
+        let obs = Telemetry::enabled();
+        p.set_observer(obs.clone());
+        p.acquire(EnvKind::Container); // hit
+        p.acquire(EnvKind::Container); // miss -> cold start
+        assert_eq!(obs.counter("isolate.warmpool.hits", &Labels::none()), 1);
+        assert_eq!(obs.counter("isolate.warmpool.misses", &Labels::none()), 1);
+        let cold = obs
+            .histogram("isolate.cold_start_us", &Labels::none())
+            .expect("cold-start histogram exists");
+        assert_eq!(cold.count, 1);
+        let events = obs.snapshot().events;
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, EventKind::ColdStart);
     }
 
     #[test]

@@ -23,17 +23,18 @@ fn arb_aspect() -> impl Strategy<Value = ExecEnvAspect> {
         any::<bool>(),
     )
         .prop_map(|(isolation, tenancy, tee)| {
-            let mut a = ExecEnvAspect::default();
-            a.isolation = isolation;
-            // Keep the aspect coherent (validation would reject
-            // strongest + shared).
-            a.tenancy = if isolation == Some(IsolationLevel::Strongest) {
-                Some(Tenancy::SingleTenant)
-            } else {
-                tenancy
-            };
-            a.tee_if_cpu = tee;
-            a
+            ExecEnvAspect {
+                isolation,
+                // Keep the aspect coherent (validation would reject
+                // strongest + shared).
+                tenancy: if isolation == Some(IsolationLevel::Strongest) {
+                    Some(Tenancy::SingleTenant)
+                } else {
+                    tenancy
+                },
+                tee_if_cpu: tee,
+                ..Default::default()
+            }
         })
 }
 

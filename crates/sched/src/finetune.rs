@@ -226,7 +226,7 @@ mod tests {
         }
         let final_usage = need / units as f64;
         assert!(
-            final_usage >= 0.35 && final_usage <= 1.0,
+            (0.35..=1.0).contains(&final_usage),
             "converged to units={units}, usage={final_usage}"
         );
     }

@@ -10,6 +10,7 @@ use udc_isolate::{select_env, EnvironmentPlan, WarmPool, WarmPoolConfig};
 use udc_spec::{
     AppSpec, ConflictPolicy, Goal, ModuleId, ModuleKind, ResourceKind, ResourceVector, SpecError,
 };
+use udc_telemetry::{EventKind, FieldValue, Labels, Telemetry};
 
 /// How a module's environment was started.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -197,13 +198,25 @@ impl Dsu {
 pub struct Scheduler {
     options: SchedOptions,
     warm_pool: WarmPool,
+    obs: Telemetry,
 }
 
 impl Scheduler {
     /// Creates a scheduler with the given options.
     pub fn new(options: SchedOptions) -> Self {
         let warm_pool = WarmPool::new(options.warm_pool.clone());
-        Self { options, warm_pool }
+        Self {
+            options,
+            warm_pool,
+            obs: Telemetry::disabled(),
+        }
+    }
+
+    /// Installs the observability hub on the scheduler and its warm
+    /// pool: placements become spans, events, and latency histograms.
+    pub fn set_observer(&mut self, obs: Telemetry) {
+        self.warm_pool.set_observer(obs.clone());
+        self.obs = obs;
     }
 
     /// The warm pool (for stats and refills between apps).
@@ -224,6 +237,25 @@ impl Scheduler {
         dc: &mut Datacenter,
         app: &AppSpec,
     ) -> Result<AppPlacement, SchedError> {
+        let _span = self.obs.span("sched.place");
+        if self.obs.is_enabled() {
+            // `resolve` below re-runs detection; this pass only exists to
+            // log what got resolved, so skip it entirely when disabled.
+            for c in &udc_spec::detect_conflicts(app).conflicts {
+                self.obs.event(
+                    EventKind::ConflictResolution,
+                    Labels::tenant(self.options.tenant.as_str()),
+                    &[
+                        ("app", FieldValue::from(app.name.as_str())),
+                        ("conflict", FieldValue::from(c.to_string())),
+                        (
+                            "policy",
+                            FieldValue::from(format!("{:?}", self.options.conflict_policy)),
+                        ),
+                    ],
+                );
+            }
+        }
         let app = udc_spec::resolve(app, self.options.conflict_policy)?;
         app.validate()?;
 
@@ -253,6 +285,38 @@ impl Scheduler {
             placement.modules.insert(id.clone(), placed);
         }
         dc.telemetry_mut().incr("apps_placed", 1);
+        if self.obs.is_enabled() {
+            let tenant = self.options.tenant.as_str();
+            for (id, m) in &placement.modules {
+                let labels = Labels::module(tenant, id.as_str());
+                self.obs
+                    .observe("sched.module_startup_us", labels.clone(), m.startup_us);
+                self.obs.event(
+                    EventKind::Placement,
+                    labels,
+                    &[
+                        ("device", FieldValue::from(m.primary_device.0)),
+                        ("kind", FieldValue::from(m.placed_kind.name())),
+                        ("warm", FieldValue::from(m.start_mode == StartMode::Warm)),
+                        ("startup_us", FieldValue::from(m.startup_us)),
+                    ],
+                );
+            }
+            self.obs.observe(
+                "sched.place.startup_us",
+                Labels::tenant(tenant),
+                placement.total_startup_us(),
+            );
+            // Bin-pack fill after this placement, in basis points.
+            self.obs.gauge_set(
+                "sched.binpack.fill_bp",
+                Labels::none(),
+                (dc.compute_utilization() * 10_000.0).round() as i64,
+            );
+            // Placement carves pools directly, bypassing the vector
+            // allocator's watermark updates — refresh them here.
+            dc.observe_pool_levels();
+        }
         Ok(placement)
     }
 

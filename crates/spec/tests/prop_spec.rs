@@ -55,8 +55,10 @@ fn arb_resource_aspect() -> impl Strategy<Value = ResourceAspect> {
         prop::collection::vec(arb_kind(), 0..3),
     )
         .prop_map(|(goal, demands, cands)| {
-            let mut a = ResourceAspect::default();
-            a.goal = goal;
+            let mut a = ResourceAspect {
+                goal,
+                ..Default::default()
+            };
             for (k, v) in demands {
                 let cur = a.demand.get(k);
                 a.demand.set(k, cur.saturating_add(v));

@@ -1,0 +1,299 @@
+//! # udc-telemetry — zero-dependency observability substrate
+//!
+//! The paper argues a user-defined cloud must remain *accountable*: §4
+//! asks "how can users trust the cloud?" and answers with verification
+//! loops that compare what the platform claims (bills, placements,
+//! isolation) against what actually happened. This crate is the
+//! "actually happened" side: a deterministic observability substrate
+//! the whole control plane reports into, with three pillars:
+//!
+//! - [`metrics`] — a [`MetricsRegistry`](metrics::MetricsRegistry) of
+//!   counters, gauges (with high-water marks), and log-bucketed
+//!   histograms with bounded-error quantiles, keyed by metric name plus
+//!   `(tenant, module)` [`Labels`];
+//! - [`span`] — nested span tracing (`telemetry.span("sched.place")`)
+//!   timestamped from the *simulated* clock, so traces are reproducible
+//!   bit-for-bit across runs;
+//! - [`recorder`] — a fixed-capacity flight recorder of structured
+//!   [`Event`](recorder::Event)s (placements, conflict resolutions,
+//!   cold starts, failures, autoscale actions) that survives to JSON
+//!   export for offline analysis.
+//!
+//! The hub itself ([`Telemetry`]) is cheap to clone and share. A
+//! *disabled* hub (the default) is a true no-op: every method returns
+//! after one `Option` check, so instrumented hot paths (placement,
+//! message delivery) pay near-zero overhead when observability is off —
+//! the criterion benches in `udc-bench` pin this below 5%.
+//!
+//! Time never comes from the host: callers install a clock source
+//! (usually `udc-hal`'s `SimClock`) via [`Telemetry::set_clock`]; until
+//! then a logical tick counter stands in, keeping traces deterministic
+//! even clock-less.
+
+pub mod export;
+mod json;
+pub mod metrics;
+pub mod recorder;
+pub mod span;
+
+use std::sync::{Arc, Mutex};
+
+pub use export::Snapshot;
+pub use metrics::{Histogram, HistogramSummary};
+pub use recorder::{Event, EventKind, FieldValue};
+pub use span::{Span, SpanRecord};
+
+/// Simulated-time microseconds (mirrors `udc_hal::clock::Micros`
+/// without depending on it; the dependency points the other way).
+pub type Micros = u64;
+
+/// A clock the hub reads for span and event timestamps.
+pub type ClockSource = Arc<dyn Fn() -> Micros + Send + Sync>;
+
+/// The `(tenant, module)` dimensions every metric and event can carry.
+#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Labels {
+    /// Owning tenant, when attributable.
+    pub tenant: Option<String>,
+    /// Module within the tenant's app, when attributable.
+    pub module: Option<String>,
+}
+
+impl Labels {
+    /// Platform-wide (unattributed) series.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Tenant-scoped series.
+    pub fn tenant(tenant: impl Into<String>) -> Self {
+        Self {
+            tenant: Some(tenant.into()),
+            module: None,
+        }
+    }
+
+    /// Tenant- and module-scoped series.
+    pub fn module(tenant: impl Into<String>, module: impl Into<String>) -> Self {
+        Self {
+            tenant: Some(tenant.into()),
+            module: Some(module.into()),
+        }
+    }
+}
+
+struct State {
+    clock: Option<ClockSource>,
+    /// Logical fallback time: bumped per timestamped operation before a
+    /// clock source is installed.
+    ticks: Micros,
+    metrics: metrics::MetricsRegistry,
+    spans: span::SpanStore,
+    recorder: recorder::FlightRecorder,
+}
+
+impl State {
+    fn now(&mut self) -> Micros {
+        match &self.clock {
+            Some(clock) => clock(),
+            None => {
+                self.ticks += 1;
+                self.ticks
+            }
+        }
+    }
+}
+
+/// The observability hub. Clones share state; the default hub is
+/// disabled and all operations are no-ops.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Mutex<State>>>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Contents are behind a mutex and unbounded; show only the mode.
+        f.write_str(if self.is_enabled() {
+            "Telemetry(enabled)"
+        } else {
+            "Telemetry(disabled)"
+        })
+    }
+}
+
+/// Default flight-recorder capacity (events retained).
+pub const DEFAULT_RECORDER_CAPACITY: usize = 4096;
+
+impl Telemetry {
+    /// A disabled hub: every operation is a no-op.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// An enabled hub with the default flight-recorder capacity.
+    pub fn enabled() -> Self {
+        Self::with_recorder_capacity(DEFAULT_RECORDER_CAPACITY)
+    }
+
+    /// An enabled hub retaining at most `capacity` flight events.
+    pub fn with_recorder_capacity(capacity: usize) -> Self {
+        Self {
+            inner: Some(Arc::new(Mutex::new(State {
+                clock: None,
+                ticks: 0,
+                metrics: metrics::MetricsRegistry::default(),
+                spans: span::SpanStore::default(),
+                recorder: recorder::FlightRecorder::new(capacity),
+            }))),
+        }
+    }
+
+    /// Whether this hub records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn state(&self) -> Option<std::sync::MutexGuard<'_, State>> {
+        self.inner
+            .as_ref()
+            .map(|m| m.lock().expect("telemetry poisoned"))
+    }
+
+    /// Installs the timestamp source (typically the simulated clock).
+    pub fn set_clock(&self, clock: impl Fn() -> Micros + Send + Sync + 'static) {
+        if let Some(mut s) = self.state() {
+            s.clock = Some(Arc::new(clock));
+        }
+    }
+
+    /// Adds `delta` to a counter.
+    pub fn incr(&self, name: &str, labels: Labels, delta: u64) {
+        if let Some(mut s) = self.state() {
+            s.metrics.incr(name, labels, delta);
+        }
+    }
+
+    /// Reads a counter back (0 when absent or disabled).
+    pub fn counter(&self, name: &str, labels: &Labels) -> u64 {
+        self.state()
+            .map(|s| s.metrics.counter(name, labels))
+            .unwrap_or(0)
+    }
+
+    /// Sets a gauge, tracking its high-water mark.
+    pub fn gauge_set(&self, name: &str, labels: Labels, value: i64) {
+        if let Some(mut s) = self.state() {
+            s.metrics.gauge_set(name, labels, value);
+        }
+    }
+
+    /// Reads a gauge as `(current, high_water)`.
+    pub fn gauge(&self, name: &str, labels: &Labels) -> Option<(i64, i64)> {
+        self.state().and_then(|s| s.metrics.gauge(name, labels))
+    }
+
+    /// Records one observation into a log-bucketed histogram.
+    pub fn observe(&self, name: &str, labels: Labels, value: u64) {
+        if let Some(mut s) = self.state() {
+            s.metrics.observe(name, labels, value);
+        }
+    }
+
+    /// Summarizes a histogram (count, min/max, p50/p95/p99).
+    pub fn histogram(&self, name: &str, labels: &Labels) -> Option<HistogramSummary> {
+        self.state()
+            .and_then(|s| s.metrics.histogram(name, labels).map(|h| h.summary()))
+    }
+
+    /// Opens a span; it closes when the guard drops (or via
+    /// [`Span::exit`]). Nesting follows open-span order, forming a tree.
+    pub fn span(&self, name: &str) -> Span {
+        match self.state() {
+            Some(mut s) => {
+                let at = s.now();
+                let id = s.spans.begin(name, at);
+                Span::active(self.clone(), id)
+            }
+            None => Span::inert(),
+        }
+    }
+
+    pub(crate) fn end_span(&self, id: u32) {
+        if let Some(mut s) = self.state() {
+            let at = s.now();
+            s.spans.end(id, at);
+        }
+    }
+
+    /// Appends a structured event to the flight recorder.
+    pub fn event(&self, kind: EventKind, labels: Labels, fields: &[(&str, FieldValue)]) {
+        if let Some(mut s) = self.state() {
+            let at = s.now();
+            s.recorder.record(kind, labels, fields, at);
+        }
+    }
+
+    /// A consistent copy of everything recorded so far.
+    pub fn snapshot(&self) -> Snapshot {
+        self.state()
+            .map(|s| Snapshot::capture(&s))
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_hub_is_inert() {
+        let tel = Telemetry::disabled();
+        tel.incr("x", Labels::none(), 3);
+        tel.observe("h", Labels::none(), 10);
+        tel.gauge_set("g", Labels::none(), 5);
+        let span = tel.span("nothing");
+        drop(span);
+        tel.event(EventKind::Failure, Labels::none(), &[]);
+        assert_eq!(tel.counter("x", &Labels::none()), 0);
+        assert!(tel.histogram("h", &Labels::none()).is_none());
+        let snap = tel.snapshot();
+        assert!(snap.counters.is_empty() && snap.spans.is_empty() && snap.events.is_empty());
+    }
+
+    #[test]
+    fn counters_are_label_scoped() {
+        let tel = Telemetry::enabled();
+        tel.incr("runs", Labels::tenant("acme"), 2);
+        tel.incr("runs", Labels::tenant("globex"), 5);
+        tel.incr("runs", Labels::tenant("acme"), 1);
+        assert_eq!(tel.counter("runs", &Labels::tenant("acme")), 3);
+        assert_eq!(tel.counter("runs", &Labels::tenant("globex")), 5);
+        assert_eq!(tel.counter("runs", &Labels::none()), 0);
+    }
+
+    #[test]
+    fn gauge_tracks_high_water() {
+        let tel = Telemetry::enabled();
+        let l = Labels::none();
+        tel.gauge_set("depth", l.clone(), 4);
+        tel.gauge_set("depth", l.clone(), 9);
+        tel.gauge_set("depth", l.clone(), 2);
+        assert_eq!(tel.gauge("depth", &l), Some((2, 9)));
+    }
+
+    #[test]
+    fn clock_source_timestamps_spans() {
+        let tel = Telemetry::enabled();
+        let t = Arc::new(std::sync::atomic::AtomicU64::new(100));
+        let tc = Arc::clone(&t);
+        tel.set_clock(move || tc.load(std::sync::atomic::Ordering::Relaxed));
+        let span = tel.span("work");
+        t.store(250, std::sync::atomic::Ordering::Relaxed);
+        span.exit();
+        let snap = tel.snapshot();
+        assert_eq!(snap.spans.len(), 1);
+        assert_eq!(snap.spans[0].start_us, 100);
+        assert_eq!(snap.spans[0].end_us, Some(250));
+    }
+}

@@ -1,0 +1,261 @@
+//! Counters, gauges, and log-bucketed histograms.
+
+use std::collections::BTreeMap;
+
+use crate::Labels;
+
+type Key = (String, Labels);
+
+/// A gauge value plus its high-water mark.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Gauge {
+    pub value: i64,
+    pub high_water: i64,
+}
+
+/// Holds every metric series, keyed by `(name, labels)`.
+#[derive(Default)]
+pub(crate) struct MetricsRegistry {
+    counters: BTreeMap<Key, u64>,
+    gauges: BTreeMap<Key, Gauge>,
+    histograms: BTreeMap<Key, Histogram>,
+}
+
+impl MetricsRegistry {
+    pub fn incr(&mut self, name: &str, labels: Labels, delta: u64) {
+        *self.counters.entry((name.to_string(), labels)).or_insert(0) += delta;
+    }
+
+    pub fn counter(&self, name: &str, labels: &Labels) -> u64 {
+        self.counters
+            .get(&(name.to_string(), labels.clone()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    pub fn gauge_set(&mut self, name: &str, labels: Labels, value: i64) {
+        let g = self
+            .gauges
+            .entry((name.to_string(), labels))
+            .or_insert(Gauge {
+                value,
+                high_water: value,
+            });
+        g.value = value;
+        g.high_water = g.high_water.max(value);
+    }
+
+    pub fn gauge(&self, name: &str, labels: &Labels) -> Option<(i64, i64)> {
+        self.gauges
+            .get(&(name.to_string(), labels.clone()))
+            .map(|g| (g.value, g.high_water))
+    }
+
+    pub fn observe(&mut self, name: &str, labels: Labels, value: u64) {
+        self.histograms
+            .entry((name.to_string(), labels))
+            .or_default()
+            .record(value);
+    }
+
+    pub fn histogram(&self, name: &str, labels: &Labels) -> Option<&Histogram> {
+        self.histograms.get(&(name.to_string(), labels.clone()))
+    }
+
+    pub fn counters(&self) -> impl Iterator<Item = (&Key, &u64)> {
+        self.counters.iter()
+    }
+
+    pub fn gauges(&self) -> impl Iterator<Item = (&Key, &Gauge)> {
+        self.gauges.iter()
+    }
+
+    pub fn histograms(&self) -> impl Iterator<Item = (&Key, &Histogram)> {
+        self.histograms.iter()
+    }
+}
+
+/// Number of buckets: one for zero plus one per power of two up to
+/// `u64::MAX`.
+const BUCKETS: usize = 65;
+
+/// A base-2 log-bucketed histogram.
+///
+/// Bucket 0 holds only zeros; bucket `i ≥ 1` holds values in
+/// `[2^(i-1), 2^i - 1]`. A quantile estimate is the upper bound of the
+/// bucket holding the rank-selected sample (clamped to the observed
+/// min/max), so it never underestimates and its error is bounded by the
+/// width of that bucket — which is what the property tests pin down.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+/// Index of the bucket holding `value`.
+pub fn bucket_index(value: u64) -> usize {
+    match value {
+        0 => 0,
+        v => 64 - v.leading_zeros() as usize,
+    }
+}
+
+/// Inclusive `(low, high)` bounds of bucket `index`.
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    match index {
+        0 => (0, 0),
+        64 => (1 << 63, u64::MAX),
+        i => (1 << (i - 1), (1 << i) - 1),
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        self.counts[bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`): the upper bound of
+    /// the bucket holding the sample of rank `round(q * (count - 1))`,
+    /// clamped into `[min, max]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * (self.count - 1) as f64).round() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen > rank {
+                let (_, hi) = bucket_bounds(i);
+                return hi.min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// The fixed summary used in exports.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count(),
+            min: self.min(),
+            max: self.max(),
+            mean: self.mean(),
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+/// Snapshot of one histogram's headline statistics.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Smallest observation.
+    pub min: u64,
+    /// Largest observation.
+    pub max: u64,
+    /// Mean observation.
+    pub mean: f64,
+    /// Median estimate.
+    pub p50: u64,
+    /// 95th-percentile estimate.
+    pub p95: u64,
+    /// 99th-percentile estimate.
+    pub p99: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_partition_the_domain() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for i in 0..BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert!(lo <= hi);
+            assert_eq!(bucket_index(lo), i);
+            assert_eq!(bucket_index(hi), i);
+        }
+    }
+
+    #[test]
+    fn quantiles_of_uniform_ramp() {
+        let mut h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 1000);
+        let p50 = h.quantile(0.5);
+        // True median is 500; the estimate lands at its bucket's upper
+        // bound (511), never below the true value.
+        assert!((500..=511).contains(&p50), "{p50}");
+        assert!(h.quantile(0.0) >= 1);
+        assert_eq!(h.quantile(1.0), 1000);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.summary().count, 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+}

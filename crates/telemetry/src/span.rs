@@ -1,0 +1,173 @@
+//! Nested span tracing over simulated time.
+
+use crate::{Micros, Telemetry};
+
+/// One completed (or still-open) span.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Unique id within this hub (creation order).
+    pub id: u32,
+    /// Enclosing span open at entry, if any.
+    pub parent: Option<u32>,
+    /// Operation name, e.g. `"sched.place"`.
+    pub name: String,
+    /// Entry timestamp.
+    pub start_us: Micros,
+    /// Exit timestamp; `None` while the span is open.
+    pub end_us: Option<Micros>,
+}
+
+/// All spans plus the stack of currently open ones.
+#[derive(Default)]
+pub(crate) struct SpanStore {
+    records: Vec<SpanRecord>,
+    open: Vec<u32>,
+}
+
+impl SpanStore {
+    pub fn begin(&mut self, name: &str, at: Micros) -> u32 {
+        let id = self.records.len() as u32;
+        self.records.push(SpanRecord {
+            id,
+            parent: self.open.last().copied(),
+            name: name.to_string(),
+            start_us: at,
+            end_us: None,
+        });
+        self.open.push(id);
+        id
+    }
+
+    /// Closes `id` (and any children still open above it — guards
+    /// dropping out of order close their subtree).
+    pub fn end(&mut self, id: u32, at: Micros) {
+        if let Some(pos) = self.open.iter().rposition(|&open| open == id) {
+            for closed in self.open.drain(pos..) {
+                let rec = &mut self.records[closed as usize];
+                if rec.end_us.is_none() {
+                    rec.end_us = Some(at);
+                }
+            }
+        } else if let Some(rec) = self.records.get_mut(id as usize) {
+            if rec.end_us.is_none() {
+                rec.end_us = Some(at);
+            }
+        }
+    }
+
+    pub fn records(&self) -> &[SpanRecord] {
+        &self.records
+    }
+}
+
+/// Guard for an open span; the span closes when this drops. On a
+/// disabled hub the guard is inert.
+#[must_use = "dropping immediately closes the span at its start time"]
+pub struct Span {
+    tel: Telemetry,
+    id: u32,
+    active: bool,
+}
+
+impl Span {
+    pub(crate) fn active(tel: Telemetry, id: u32) -> Self {
+        Self {
+            tel,
+            id,
+            active: true,
+        }
+    }
+
+    pub(crate) fn inert() -> Self {
+        Self {
+            tel: Telemetry::disabled(),
+            id: 0,
+            active: false,
+        }
+    }
+
+    /// Closes the span now (equivalent to dropping the guard).
+    pub fn exit(self) {}
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if self.active {
+            self.tel.end_span(self.id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Telemetry;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    fn hub_with_ticking_clock() -> (Telemetry, Arc<AtomicU64>) {
+        let tel = Telemetry::enabled();
+        let t = Arc::new(AtomicU64::new(0));
+        let tc = Arc::clone(&t);
+        tel.set_clock(move || tc.load(Ordering::Relaxed));
+        (tel, t)
+    }
+
+    #[test]
+    fn spans_nest_into_a_tree() {
+        let (tel, t) = hub_with_ticking_clock();
+        t.store(10, Ordering::Relaxed);
+        let run = tel.span("cloud.run");
+        t.store(20, Ordering::Relaxed);
+        let place = tel.span("sched.place");
+        t.store(30, Ordering::Relaxed);
+        place.exit();
+        t.store(35, Ordering::Relaxed);
+        let seal = tel.span("crypto.seal");
+        t.store(40, Ordering::Relaxed);
+        seal.exit();
+        t.store(50, Ordering::Relaxed);
+        run.exit();
+
+        let spans = tel.snapshot().spans;
+        assert_eq!(spans.len(), 3);
+        let run = &spans[0];
+        let place = &spans[1];
+        let seal = &spans[2];
+        assert_eq!(run.name, "cloud.run");
+        assert_eq!(run.parent, None);
+        assert_eq!((run.start_us, run.end_us), (10, Some(50)));
+        // Both children hang off the root, and sit inside it in time.
+        assert_eq!(place.parent, Some(run.id));
+        assert_eq!(seal.parent, Some(run.id));
+        assert_eq!((place.start_us, place.end_us), (20, Some(30)));
+        assert_eq!((seal.start_us, seal.end_us), (35, Some(40)));
+        assert!(place.end_us.unwrap() <= seal.start_us);
+    }
+
+    #[test]
+    fn parent_drop_closes_open_children() {
+        let (tel, t) = hub_with_ticking_clock();
+        let outer = tel.span("outer");
+        t.store(5, Ordering::Relaxed);
+        let _inner = tel.span("inner");
+        t.store(9, Ordering::Relaxed);
+        drop(outer); // inner guard still alive, but subtree closes
+
+        let spans = tel.snapshot().spans;
+        assert_eq!(spans[1].name, "inner");
+        assert_eq!(spans[1].end_us, Some(9));
+        assert_eq!(spans[0].end_us, Some(9));
+    }
+
+    #[test]
+    fn fallback_ticks_are_monotone_without_a_clock() {
+        let tel = Telemetry::enabled();
+        let a = tel.span("a");
+        let b = tel.span("b");
+        b.exit();
+        a.exit();
+        let spans = tel.snapshot().spans;
+        assert!(spans[0].start_us < spans[1].start_us);
+        assert!(spans[1].end_us.unwrap() < spans[0].end_us.unwrap());
+    }
+}

@@ -1,0 +1,75 @@
+//! Property tests pinning down the histogram quantile estimator's
+//! contract against an exact sort-based oracle:
+//!
+//! 1. ordering — min ≤ p50 ≤ p95 ≤ p99 ≤ max, with min/max exact;
+//! 2. one-sidedness — a quantile estimate never underestimates the
+//!    exact quantile;
+//! 3. error bound — the overestimate is at most the width of the
+//!    bucket holding the exact value.
+
+use proptest::prelude::*;
+use udc_telemetry::metrics::{bucket_bounds, bucket_index};
+use udc_telemetry::Histogram;
+
+/// The exact quantile the estimator targets: the sample whose rank is
+/// `round(q * (n - 1))` — the same rank formula the histogram uses.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = (q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank]
+}
+
+fn filled(values: &[u64]) -> Histogram {
+    let mut h = Histogram::default();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #[test]
+    fn summary_quantiles_are_ordered_and_bracketed(
+        values in prop::collection::vec(any::<u64>(), 1..300),
+    ) {
+        let s = filled(&values).summary();
+        prop_assert!(s.min <= s.p50);
+        prop_assert!(s.p50 <= s.p95);
+        prop_assert!(s.p95 <= s.p99);
+        prop_assert!(s.p99 <= s.max);
+        prop_assert_eq!(s.min, *values.iter().min().unwrap());
+        prop_assert_eq!(s.max, *values.iter().max().unwrap());
+        prop_assert_eq!(s.count, values.len() as u64);
+        prop_assert!(s.mean >= s.min as f64 && s.mean <= s.max as f64);
+    }
+
+    #[test]
+    fn quantile_never_underestimates_and_error_is_bucket_bounded(
+        values in prop::collection::vec(any::<u64>(), 1..300),
+        qs in prop::collection::vec(0.0f64..=1.0, 1..8),
+    ) {
+        let h = filled(&values);
+        let mut sorted = values;
+        sorted.sort_unstable();
+        for q in qs {
+            let est = h.quantile(q);
+            let exact = exact_quantile(&sorted, q);
+            prop_assert!(
+                est >= exact,
+                "q={q}: estimate {est} underestimates exact {exact}"
+            );
+            let (lo, hi) = bucket_bounds(bucket_index(exact));
+            prop_assert!(
+                est - exact <= hi - lo,
+                "q={q}: error {} exceeds bucket width {}",
+                est - exact,
+                hi - lo
+            );
+        }
+    }
+
+    #[test]
+    fn every_value_lands_in_its_bucket(value in any::<u64>()) {
+        let (lo, hi) = bucket_bounds(bucket_index(value));
+        prop_assert!(lo <= value && value <= hi);
+    }
+}

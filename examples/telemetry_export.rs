@@ -1,0 +1,77 @@
+//! The telemetry & verification loop (DESIGN.md §8): run the medical
+//! pipeline with observability on, audit the bill against the
+//! advertised contract, and export the full flight recording.
+//!
+//! ```sh
+//! cargo run --example telemetry_export
+//! ```
+
+use udc::core::{CloudConfig, UdcCloud};
+use udc::telemetry::Labels;
+use udc::workload::medical_pipeline;
+
+fn main() {
+    let mut cloud = UdcCloud::new(CloudConfig::default());
+    let tel = cloud.enable_telemetry();
+
+    let dep = cloud.submit(&medical_pipeline()).expect("pipeline fits");
+    cloud.run(&dep);
+
+    // Per-module usage metering, straight from the registry.
+    println!("module      window(ms)   unit-ms     billed(u$)");
+    for id in dep.placement.modules.keys() {
+        let labels = Labels::module("tenant", id.as_str());
+        println!(
+            "  {id:<8} {:>10.1} {:>9.1} {:>12}",
+            tel.counter("core.module_window_us", &labels) as f64 / 1e3,
+            tel.counter("core.module_unit_us", &labels) as f64 / 1e3,
+            tel.counter("core.billed_microdollars", &labels),
+        );
+    }
+
+    // Cold starts: the warm pool is off, so every module started cold.
+    let cold = tel
+        .histogram("isolate.cold_start_us", &Labels::none())
+        .expect("cold starts were recorded");
+    println!(
+        "\ncold starts: n={} p50={:.1}ms p99={:.1}ms max={:.1}ms",
+        cold.count,
+        cold.p50 as f64 / 1e3,
+        cold.p99 as f64 / 1e3,
+        cold.max as f64 / 1e3
+    );
+
+    // §4's billing audit: recompute the expected charge from the
+    // advertised prices and the observed windows, compare to the bill.
+    let verification = cloud.verify_deployment(&dep);
+    let billing = verification.billing.as_ref().expect("telemetry is on");
+    println!(
+        "\nbilling reconciliation (tolerance {:.0}%):",
+        billing.tolerance * 100.0
+    );
+    for (id, check) in &billing.modules {
+        println!(
+            "  {id:<8} billed={:>6}u$ expected={:>6}u$ {}",
+            check.billed,
+            check.expected,
+            if check.within_tolerance {
+                "ok"
+            } else {
+                "FLAGGED"
+            }
+        );
+    }
+    assert!(billing.consistent(), "honest provider must reconcile");
+
+    // The whole recording — counters, histograms, span tree, events —
+    // as one JSON artifact.
+    let path = std::env::temp_dir().join("udc_telemetry_example.json");
+    let written = cloud.export_telemetry(&path).expect("export writes");
+    let snap = tel.snapshot();
+    println!(
+        "\nexported {} spans and {} flight events to {}",
+        snap.spans.len(),
+        snap.events.len(),
+        written.display()
+    );
+}

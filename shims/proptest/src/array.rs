@@ -1,0 +1,28 @@
+//! Fixed-size array strategies.
+
+use rand::rngs::StdRng;
+
+use crate::strategy::Strategy;
+
+/// Strategy producing `[S::Value; N]` with independently drawn elements.
+pub struct UniformArray<S, const N: usize> {
+    element: S,
+}
+
+impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+    type Value = [S::Value; N];
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        std::array::from_fn(|_| self.element.sample(rng))
+    }
+}
+
+/// 12-element arrays of `element` samples.
+pub fn uniform12<S: Strategy>(element: S) -> UniformArray<S, 12> {
+    UniformArray { element }
+}
+
+/// 32-element arrays of `element` samples.
+pub fn uniform32<S: Strategy>(element: S) -> UniformArray<S, 32> {
+    UniformArray { element }
+}

@@ -1,0 +1,12 @@
+//! One-stop import mirroring `proptest::prelude::*`.
+
+pub use crate::arbitrary::any;
+pub use crate::strategy::{Just, Strategy};
+pub use crate::test_runner::ProptestConfig;
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+
+/// Namespace mirror: `prop::collection::vec`, `prop::sample::select`,
+/// `prop::array::uniform32`, …
+pub mod prop {
+    pub use crate::{array, collection, sample};
+}

@@ -1,0 +1,163 @@
+//! The `Strategy` trait and core combinators.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::test_runner::TestRunner;
+
+/// A recipe for sampling random values of an associated type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Samples one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Applies a function to every sampled value.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Samples a value wrapped in a [`ValueTree`] (shrink-free).
+    fn new_tree(&self, runner: &mut TestRunner) -> Result<SampleTree<Self::Value>, String> {
+        Ok(SampleTree {
+            value: self.sample(runner.rng()),
+        })
+    }
+}
+
+/// A sampled value; the real crate shrinks through this, the shim
+/// simply holds the current sample.
+pub trait ValueTree {
+    /// The type of value held.
+    type Value;
+
+    /// The current value.
+    fn current(&self) -> Self::Value;
+}
+
+/// The shim's only [`ValueTree`]: a single fixed sample.
+pub struct SampleTree<T> {
+    value: T,
+}
+
+impl<T: Clone> ValueTree for SampleTree<T> {
+    type Value = T;
+
+    fn current(&self) -> T {
+        self.value.clone()
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T: rand::SampleUniform + Copy + PartialOrd> Strategy for std::ops::Range<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+impl<T: rand::SampleUniform + Clone> Strategy for std::ops::RangeInclusive<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Mini-regex string strategy; see [`crate::string`] for the grammar.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut StdRng) -> String {
+        crate::string::sample_pattern(self, rng)
+    }
+}
+
+/// A type-erased case inside a [`Union`].
+pub type UnionCase<T> = Box<dyn Fn(&mut StdRng) -> T>;
+
+/// Uniform choice among boxed strategies; built by `prop_oneof!`.
+pub struct Union<T> {
+    cases: Vec<UnionCase<T>>,
+}
+
+impl<T> Union<T> {
+    /// Wraps the case list; panics when empty.
+    pub fn new(cases: Vec<UnionCase<T>>) -> Self {
+        assert!(!cases.is_empty(), "prop_oneof! needs at least one case");
+        Self { cases }
+    }
+
+    /// Erases one strategy into a sampling closure.
+    pub fn case<S>(strat: S) -> UnionCase<T>
+    where
+        S: Strategy<Value = T> + 'static,
+    {
+        Box::new(move |rng| strat.sample(rng))
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        let idx = rng.gen_range(0..self.cases.len());
+        (self.cases[idx])(rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident . $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A.0);
+impl_tuple_strategy!(A.0, B.1);
+impl_tuple_strategy!(A.0, B.1, C.2);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);

@@ -1,0 +1,135 @@
+//! A tiny regex-shaped generator covering the patterns used in-tree:
+//! literal characters, character classes like `[a-z0-9]`, the `\PC`
+//! printable class, and `{m}` / `{m,n}` repetition.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+struct Atom {
+    /// Inclusive character ranges to draw from.
+    ranges: Vec<(char, char)>,
+    min: usize,
+    max: usize,
+}
+
+/// Samples a string matching `pattern`.
+pub fn sample_pattern(pattern: &str, rng: &mut StdRng) -> String {
+    let atoms = parse(pattern);
+    let mut out = String::new();
+    for atom in &atoms {
+        let count = rng.gen_range(atom.min..atom.max + 1);
+        let total: u32 = atom
+            .ranges
+            .iter()
+            .map(|&(lo, hi)| hi as u32 - lo as u32 + 1)
+            .sum();
+        for _ in 0..count {
+            let mut pick = rng.gen_range(0..total);
+            for &(lo, hi) in &atom.ranges {
+                let span = hi as u32 - lo as u32 + 1;
+                if pick < span {
+                    out.push(char::from_u32(lo as u32 + pick).expect("valid char range"));
+                    break;
+                }
+                pick -= span;
+            }
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let ranges = match chars[i] {
+            '[' => {
+                let mut ranges = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        ranges.push((chars[i], chars[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((chars[i], chars[i]));
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated class in pattern {pattern:?}");
+                i += 1;
+                ranges
+            }
+            '\\' => {
+                // Only the printable-character class `\PC` is supported;
+                // any other escape stands for the escaped literal.
+                if i + 2 < chars.len() && chars[i + 1] == 'P' && chars[i + 2] == 'C' {
+                    i += 3;
+                    vec![(' ', '~')]
+                } else {
+                    assert!(i + 1 < chars.len(), "dangling escape in {pattern:?}");
+                    let c = chars[i + 1];
+                    i += 2;
+                    vec![(c, c)]
+                }
+            }
+            c => {
+                i += 1;
+                vec![(c, c)]
+            }
+        };
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .expect("unterminated repeat")
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.parse().expect("repeat lower bound"),
+                    hi.parse().expect("repeat upper bound"),
+                ),
+                None => {
+                    let n = body.parse().expect("repeat count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        atoms.push(Atom { ranges, min, max });
+    }
+    atoms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sample_pattern;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn class_with_repeat() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let s = sample_pattern("[a-z][a-z0-9]{0,6}", &mut rng);
+            assert!((1..=7).contains(&s.len()), "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn printable_class() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..50 {
+            let s = sample_pattern("\\PC{0,200}", &mut rng);
+            assert!(s.len() <= 200);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Test configuration and the case runner state.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-block configuration; only `cases` is honoured by the shim.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject(String),
+    /// A `prop_assert*` failed; the test fails.
+    Fail(String),
+}
+
+/// Holds the RNG that drives sampling. Always deterministic in the
+/// shim: the same binary reruns the same cases.
+pub struct TestRunner {
+    rng: StdRng,
+}
+
+impl TestRunner {
+    const SEED: u64 = 0x5EED_0F0D_15C0;
+
+    /// Runner for the given config.
+    pub fn new(_config: ProptestConfig) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(Self::SEED),
+        }
+    }
+
+    /// Runner with a fixed, documented seed.
+    pub fn deterministic() -> Self {
+        Self::new(ProptestConfig::default())
+    }
+
+    /// The sampling RNG.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}

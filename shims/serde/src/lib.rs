@@ -1,0 +1,19 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The real serde is a zero-copy serialization framework; vendored
+//! registries are not available in this build environment, so this crate
+//! provides the small surface the workspace actually uses: a JSON-like
+//! [`Value`] data model, [`Serialize`]/[`Deserialize`] traits that
+//! convert to and from it, and derive macros (re-exported from
+//! `serde_derive`) covering the attribute subset used in-tree:
+//! `transparent`, `rename_all = "snake_case"`, `default`,
+//! `default = "path"`, and `skip_serializing_if = "path"`.
+
+pub mod de;
+pub mod ser;
+pub mod value;
+
+pub use de::Deserialize;
+pub use ser::Serialize;
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::{Number, Value};

@@ -1,0 +1,323 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]`
+//! against the shim `serde` crate's `Value` data model, parsing the item
+//! token stream by hand (no `syn`/`quote` — those cannot be fetched in
+//! this build environment). Supports the shapes and attributes used in
+//! this workspace:
+//!
+//! - structs with named fields, tuple/newtype structs, unit structs;
+//! - enums with unit, newtype, tuple, and struct variants;
+//! - plain type parameters (`struct Wrapper<T> { .. }`);
+//! - `#[serde(transparent)]`, `#[serde(rename_all = "snake_case")]`,
+//!   `#[serde(default)]`, `#[serde(default = "path")]`, and
+//!   `#[serde(skip_serializing_if = "path")]`.
+
+use proc_macro::TokenStream;
+
+mod parse;
+use parse::{Body, Field, Input, VariantShape};
+
+/// Derives the shim `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse::parse(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives the shim `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse::parse(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+fn impl_header(item: &Input, trait_name: &str) -> String {
+    if item.generics.is_empty() {
+        format!("impl ::serde::{trait_name} for {}", item.name)
+    } else {
+        let params: Vec<String> = item
+            .generics
+            .iter()
+            .map(|g| format!("{g}: ::serde::{trait_name}"))
+            .collect();
+        let args = item.generics.join(", ");
+        format!(
+            "impl<{}> ::serde::{trait_name} for {}<{args}>",
+            params.join(", "),
+            item.name
+        )
+    }
+}
+
+fn rename(item: &Input, ident: &str) -> String {
+    match item.rename_all.as_deref() {
+        Some("snake_case") => to_snake_case(ident),
+        Some("lowercase") => ident.to_lowercase(),
+        _ => ident.to_string(),
+    }
+}
+
+fn to_snake_case(ident: &str) -> String {
+    let mut out = String::new();
+    for (i, c) in ident.chars().enumerate() {
+        if c.is_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.extend(c.to_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn gen_serialize(item: &Input) -> String {
+    let body = match &item.body {
+        Body::Unit => "::serde::Value::Null".to_string(),
+        Body::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::TupleStruct(n) => {
+            let parts: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", parts.join(", "))
+        }
+        Body::NamedStruct(fields) => {
+            if item.transparent && fields.len() == 1 {
+                format!("::serde::Serialize::to_value(&self.{})", fields[0].name)
+            } else {
+                let mut s = String::from(
+                    "let mut entries: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                     ::std::vec::Vec::new();\n",
+                );
+                for f in fields {
+                    let push = format!(
+                        "entries.push((\"{key}\".to_string(), ::serde::Serialize::to_value(&self.{name})));",
+                        key = rename_field(item, &f.name),
+                        name = f.name
+                    );
+                    match &f.skip_if {
+                        Some(path) => s.push_str(&format!(
+                            "if !({path})(&self.{name}) {{ {push} }}\n",
+                            name = f.name
+                        )),
+                        None => {
+                            s.push_str(&push);
+                            s.push('\n');
+                        }
+                    }
+                }
+                s.push_str("::serde::Value::Object(entries)");
+                s
+            }
+        }
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let key = rename(item, &v.name);
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{}::{} => ::serde::Value::String(\"{key}\".to_string()),\n",
+                        item.name, v.name
+                    )),
+                    VariantShape::Tuple(1) => arms.push_str(&format!(
+                        "{}::{}(__v0) => ::serde::Value::Object(vec![(\"{key}\".to_string(), \
+                         ::serde::Serialize::to_value(__v0))]),\n",
+                        item.name, v.name
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__v{i}")).collect();
+                        let vals: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{}::{}({bl}) => ::serde::Value::Object(vec![(\"{key}\".to_string(), \
+                             ::serde::Value::Array(vec![{vl}]))]),\n",
+                            item.name,
+                            v.name,
+                            bl = binds.join(", "),
+                            vl = vals.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{key}\".to_string(), ::serde::Serialize::to_value({name}))",
+                                    key = rename_field(item, &f.name),
+                                    name = f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{}::{} {{ {bl} }} => ::serde::Value::Object(vec![(\"{key}\".to_string(), \
+                             ::serde::Value::Object(vec![{el}]))]),\n",
+                            item.name,
+                            v.name,
+                            bl = binds.join(", "),
+                            el = entries.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "{header} {{\n    fn to_value(&self) -> ::serde::Value {{\n        {body}\n    }}\n}}\n",
+        header = impl_header(item, "Serialize")
+    )
+}
+
+fn rename_field(item: &Input, name: &str) -> String {
+    // Field renames only apply via container rename_all, which in this
+    // workspace is used on enums (variant names); struct fields keep
+    // their Rust names, matching serde's default.
+    let _ = item;
+    name.to_string()
+}
+
+fn field_expr(struct_name: &str, f: &Field, source: &str) -> String {
+    let missing = match &f.default {
+        None => format!(
+            "return ::std::result::Result::Err(::serde::de::Error::msg(\
+             \"missing field `{}` in {struct_name}\"))",
+            f.name
+        ),
+        Some(None) => "::std::default::Default::default()".to_string(),
+        Some(Some(path)) => format!("{path}()"),
+    };
+    format!(
+        "{name}: match ::serde::de::get({source}, \"{key}\") {{\n\
+         ::std::option::Option::Some(__v) => ::serde::Deserialize::from_value(__v)?,\n\
+         ::std::option::Option::None => {missing},\n\
+         }}",
+        name = f.name,
+        key = f.name
+    )
+}
+
+fn gen_deserialize(item: &Input) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Unit => format!("::std::result::Result::Ok({name})"),
+        Body::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Body::TupleStruct(n) => {
+            let parts: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                .collect();
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Array(__arr) if __arr.len() == {n} => \
+                 ::std::result::Result::Ok({name}({})),\n\
+                 __other => ::std::result::Result::Err(::serde::de::Error::msg(format!(\
+                 \"expected array of length {n} for {name}, found {{}}\", __other.kind()))),\n\
+                 }}",
+                parts.join(", ")
+            )
+        }
+        Body::NamedStruct(fields) => {
+            if item.transparent && fields.len() == 1 {
+                format!(
+                    "::std::result::Result::Ok({name} {{ {}: \
+                     ::serde::Deserialize::from_value(__v)? }})",
+                    fields[0].name
+                )
+            } else {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| field_expr(name, f, "__entries"))
+                    .collect();
+                format!(
+                    "let __entries = ::serde::de::as_object(__v, \"{name}\")?;\n\
+                     ::std::result::Result::Ok({name} {{\n{}\n}})",
+                    inits.join(",\n")
+                )
+            }
+        }
+        Body::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let key = rename(item, &v.name);
+                match &v.shape {
+                    VariantShape::Unit => unit_arms.push_str(&format!(
+                        "\"{key}\" => ::std::result::Result::Ok({name}::{}),\n",
+                        v.name
+                    )),
+                    VariantShape::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{key}\" => ::std::result::Result::Ok({name}::{}(\
+                         ::serde::Deserialize::from_value(__val)?)),\n",
+                        v.name
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let parts: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{key}\" => match __val {{\n\
+                             ::serde::Value::Array(__arr) if __arr.len() == {n} => \
+                             ::std::result::Result::Ok({name}::{}({})),\n\
+                             _ => ::std::result::Result::Err(::serde::de::Error::msg(\
+                             \"expected array for variant `{key}`\")),\n\
+                             }},\n",
+                            v.name,
+                            parts.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| field_expr(name, f, "__ventries"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{key}\" => {{\n\
+                             let __ventries = ::serde::de::as_object(__val, \"{name}::{}\")?;\n\
+                             ::std::result::Result::Ok({name}::{} {{\n{}\n}})\n\
+                             }},\n",
+                            v.name,
+                            v.name,
+                            inits.join(",\n")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::std::result::Result::Err(::serde::de::Error::msg(format!(\
+                 \"unknown variant `{{__other}}` of {name}\"))),\n\
+                 }},\n\
+                 ::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                 let (__k, __val) = &__entries[0];\n\
+                 match __k.as_str() {{\n\
+                 {data_arms}\
+                 __other => ::std::result::Result::Err(::serde::de::Error::msg(format!(\
+                 \"unknown variant `{{__other}}` of {name}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 __other => ::std::result::Result::Err(::serde::de::Error::msg(format!(\
+                 \"expected string or single-key object for {name}, found {{}}\", \
+                 __other.kind()))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "{header} {{\n\
+         fn from_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::de::Error> {{\n{body}\n}}\n}}\n",
+        header = impl_header(item, "Deserialize")
+    )
+}

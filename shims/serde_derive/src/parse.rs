@@ -1,0 +1,318 @@
+//! Hand-rolled parser for the derive input token stream.
+//!
+//! Recognizes exactly the item grammar this workspace uses; anything
+//! outside it panics with a message naming the unsupported construct so
+//! the build fails loudly rather than generating wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A field of a struct or struct variant.
+pub struct Field {
+    pub name: String,
+    /// None = required; Some(None) = `#[serde(default)]`;
+    /// Some(Some(path)) = `#[serde(default = "path")]`.
+    pub default: Option<Option<String>>,
+    /// `#[serde(skip_serializing_if = "path")]`.
+    pub skip_if: Option<String>,
+}
+
+/// The shape of one enum variant.
+pub enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+/// One enum variant.
+pub struct Variant {
+    pub name: String,
+    pub shape: VariantShape,
+}
+
+/// The body of the item.
+pub enum Body {
+    Unit,
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+/// A parsed derive input.
+pub struct Input {
+    pub name: String,
+    pub generics: Vec<String>,
+    pub rename_all: Option<String>,
+    pub transparent: bool,
+    pub body: Body,
+}
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Self {
+            tokens: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_punct(&self, c: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == c)
+    }
+
+    fn at_ident(&self, s: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == s)
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde shim derive: expected identifier, found {other:?}"),
+        }
+    }
+}
+
+/// Serde attributes collected off an attribute list.
+#[derive(Default)]
+struct SerdeAttrs {
+    rename_all: Option<String>,
+    transparent: bool,
+    default: Option<Option<String>>,
+    skip_if: Option<String>,
+}
+
+fn strip_quotes(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+/// Parses attributes at the cursor (`#[...]`*), accumulating serde ones.
+fn parse_attrs(c: &mut Cursor) -> SerdeAttrs {
+    let mut attrs = SerdeAttrs::default();
+    while c.at_punct('#') {
+        c.next();
+        let group = match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+            other => panic!("serde shim derive: expected [...] after #, found {other:?}"),
+        };
+        let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+        let Some(TokenTree::Ident(head)) = inner.first() else {
+            continue;
+        };
+        if head.to_string() != "serde" {
+            continue; // doc comments and other attributes
+        }
+        let Some(TokenTree::Group(args)) = inner.get(1) else {
+            continue;
+        };
+        let mut ac = Cursor::new(args.stream());
+        while ac.peek().is_some() {
+            let key = ac.expect_ident();
+            let mut value: Option<String> = None;
+            if ac.at_punct('=') {
+                ac.next();
+                match ac.next() {
+                    Some(TokenTree::Literal(l)) => value = Some(strip_quotes(&l.to_string())),
+                    other => panic!("serde shim derive: expected literal, found {other:?}"),
+                }
+            }
+            match key.as_str() {
+                "rename_all" => attrs.rename_all = value,
+                "transparent" => attrs.transparent = true,
+                "default" => attrs.default = Some(value),
+                "skip_serializing_if" => attrs.skip_if = value,
+                other => panic!("serde shim derive: unsupported serde attribute `{other}`"),
+            }
+            if ac.at_punct(',') {
+                ac.next();
+            }
+        }
+    }
+    attrs
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, ...).
+fn skip_vis(c: &mut Cursor) {
+    if c.at_ident("pub") {
+        c.next();
+        if matches!(c.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            c.next();
+        }
+    }
+}
+
+/// Parses `<A, B, ...>` generics, returning plain type-parameter names.
+/// Bounds, lifetimes, and const params are not used by the derived types
+/// in this workspace and are rejected.
+fn parse_generics(c: &mut Cursor) -> Vec<String> {
+    let mut params = Vec::new();
+    if !c.at_punct('<') {
+        return params;
+    }
+    c.next();
+    loop {
+        if c.at_punct('>') {
+            c.next();
+            break;
+        }
+        if c.at_punct(',') {
+            c.next();
+            continue;
+        }
+        match c.next() {
+            Some(TokenTree::Ident(i)) => params.push(i.to_string()),
+            other => panic!("serde shim derive: unsupported generic parameter: {other:?}"),
+        }
+    }
+    params
+}
+
+/// Skips a type at the cursor: consumes tokens until a top-level `,` or
+/// the end, tracking `<`/`>` nesting.
+fn skip_type(c: &mut Cursor) {
+    let mut angle = 0i32;
+    while let Some(t) = c.peek() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => return,
+            _ => {}
+        }
+        c.next();
+    }
+}
+
+/// Parses `name: Type` named fields from a brace group's stream.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while c.peek().is_some() {
+        let attrs = parse_attrs(&mut c);
+        if c.peek().is_none() {
+            break;
+        }
+        skip_vis(&mut c);
+        let name = c.expect_ident();
+        if !c.at_punct(':') {
+            panic!("serde shim derive: expected `:` after field `{name}`");
+        }
+        c.next();
+        skip_type(&mut c);
+        if c.at_punct(',') {
+            c.next();
+        }
+        fields.push(Field {
+            name,
+            default: attrs.default,
+            skip_if: attrs.skip_if,
+        });
+    }
+    fields
+}
+
+/// Counts top-level comma-separated fields of a tuple struct/variant.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut c = Cursor::new(stream);
+    let mut count = 0;
+    while c.peek().is_some() {
+        parse_attrs(&mut c);
+        if c.peek().is_none() {
+            break;
+        }
+        skip_vis(&mut c);
+        skip_type(&mut c);
+        count += 1;
+        if c.at_punct(',') {
+            c.next();
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while c.peek().is_some() {
+        parse_attrs(&mut c);
+        if c.peek().is_none() {
+            break;
+        }
+        let name = c.expect_ident();
+        let shape = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                c.next();
+                VariantShape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                c.next();
+                VariantShape::Named(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip a discriminant (`= expr`) if present, then the comma.
+        if c.at_punct('=') {
+            c.next();
+            while c.peek().is_some() && !c.at_punct(',') {
+                c.next();
+            }
+        }
+        if c.at_punct(',') {
+            c.next();
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+/// Parses a full derive input.
+pub fn parse(input: TokenStream) -> Input {
+    let mut c = Cursor::new(input);
+    let attrs = parse_attrs(&mut c);
+    skip_vis(&mut c);
+    let kw = c.expect_ident();
+    let name = c.expect_ident();
+    let generics = parse_generics(&mut c);
+    let body = match kw.as_str() {
+        "struct" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Unit,
+            other => panic!("serde shim derive: unsupported struct body: {other:?}"),
+        },
+        "enum" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde shim derive: unsupported enum body: {other:?}"),
+        },
+        other => panic!("serde shim derive: unsupported item kind `{other}`"),
+    };
+    Input {
+        name,
+        generics,
+        rename_all: attrs.rename_all,
+        transparent: attrs.transparent,
+        body,
+    }
+}

@@ -15,4 +15,5 @@ pub use udc_isolate as isolate;
 pub use udc_legacy as legacy;
 pub use udc_sched as sched;
 pub use udc_spec as spec;
+pub use udc_telemetry as telemetry;
 pub use udc_workload as workload;
