@@ -1,14 +1,25 @@
 //! Criterion micro-benchmarks for the control plane: end-to-end
 //! placement, extension-VM policy dispatch, and pool allocation.
+//!
+//! The `pool_churn`, `binpack_10k`, and `sched/place_medical_big_dc`
+//! groups are before/after pairs for the indexed allocation fast path:
+//! the retained seed implementations (`LinearPool`,
+//! `NaiveServerCluster`) run the identical operation sequence next to
+//! their indexed replacements, so one bench run quantifies the speedup
+//! — and `bench_check` enforces it from the `UDC_BENCH_JSON` export.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use udc_extvm::{assemble, NullHost, Vm, VmLimits};
+use udc_hal::linear::LinearPool;
 use udc_hal::pool::AllocConstraints;
-use udc_hal::Datacenter;
-use udc_sched::{ExtVmPolicy, LocalityPolicy, PlacementPolicy, PolicyCtx, SchedOptions, Scheduler};
+use udc_hal::{Datacenter, DatacenterConfig, Device, DeviceId, ResourcePool};
+use udc_sched::{
+    ExtVmPolicy, LocalityPolicy, NaiveServerCluster, PackAlgo, PlacementPolicy, PolicyCtx,
+    SchedOptions, Scheduler, ServerCluster, ServerShape,
+};
 use udc_spec::{ResourceKind, ResourceVector};
-use udc_workload::{medical_pipeline, random_app, RandomDagConfig};
+use udc_workload::{medical_pipeline, random_app, DemandSampler, RandomDagConfig};
 
 fn bench_placement(c: &mut Criterion) {
     let medical = medical_pipeline();
@@ -107,10 +118,113 @@ fn bench_allocation(c: &mut Criterion) {
     });
 }
 
+/// Mixed allocation sizes exercised per churn iteration: spill-y large
+/// asks next to small exact fits, like a real admission stream.
+const CHURN_SIZES: [u64; 8] = [1, 3, 7, 12, 18, 25, 31, 40];
+
+fn churn_devices(n: u32) -> impl Iterator<Item = Device> {
+    (0..n).map(|i| Device::new(DeviceId(i), ResourceKind::Cpu, 16 + (i as u64 % 64), i % 32))
+}
+
+/// Allocate/release churn on the seed linear allocator vs the indexed
+/// pool, on identical device sets, at 1k/4k/16k devices. The linear
+/// side re-scans (and re-sorts) every device per allocation; the
+/// indexed side walks the free-capacity index.
+fn bench_pool_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool_churn");
+    for devices in [1_000u32, 4_000, 16_000] {
+        let mut linear = LinearPool::new(ResourceKind::Cpu);
+        let mut indexed = ResourcePool::new(ResourceKind::Cpu);
+        for d in churn_devices(devices) {
+            linear.add_device(d.clone());
+            indexed.add_device(d);
+        }
+        group.bench_with_input(BenchmarkId::new("linear", devices), &(), |b, ()| {
+            b.iter(|| {
+                let allocs: Vec<_> = CHURN_SIZES
+                    .iter()
+                    .map(|&u| {
+                        linear
+                            .allocate("t", black_box(u), &AllocConstraints::default())
+                            .unwrap()
+                    })
+                    .collect();
+                for a in &allocs {
+                    linear.release(a);
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("indexed", devices), &(), |b, ()| {
+            b.iter(|| {
+                let allocs: Vec<_> = CHURN_SIZES
+                    .iter()
+                    .map(|&u| {
+                        indexed
+                            .allocate("t", black_box(u), &AllocConstraints::default())
+                            .unwrap()
+                    })
+                    .collect();
+                for a in &allocs {
+                    indexed.release(a);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Packing 10k sampled demands into standard servers: the seed
+/// linear-scan cluster vs the indexed one, for both algorithms.
+fn bench_binpack(c: &mut Criterion) {
+    let demands: Vec<ResourceVector> = DemandSampler::new(7).sample_n(10_000);
+    let shape = ServerShape::standard(2);
+    let mut group = c.benchmark_group("binpack_10k");
+    let algos = [
+        ("ffd", PackAlgo::FirstFitDecreasing),
+        ("bestfit", PackAlgo::BestFit),
+    ];
+    for (name, algo) in algos {
+        group.bench_with_input(BenchmarkId::new("naive", name), &algo, |b, &algo| {
+            b.iter(|| NaiveServerCluster::new(shape.clone()).pack_all(black_box(&demands), algo))
+        });
+        group.bench_with_input(BenchmarkId::new("indexed", name), &algo, |b, &algo| {
+            b.iter(|| ServerCluster::new(shape.clone()).pack_all(black_box(&demands), algo))
+        });
+    }
+    group.finish();
+}
+
+/// End-to-end `place_app` against a datacenter 16x the default device
+/// count, placing and releasing in a loop — the shape that benefits
+/// from the scheduler's candidate cache (allocate/release does not
+/// invalidate it).
+fn bench_place_big_dc(c: &mut Criterion) {
+    let mut cfg = DatacenterConfig::default();
+    for pool in &mut cfg.pools {
+        pool.devices *= 16;
+    }
+    let mut dc = Datacenter::new(cfg);
+    let mut sched = Scheduler::new(SchedOptions::default());
+    let medical = medical_pipeline();
+    c.bench_function("sched/place_medical_big_dc", |b| {
+        b.iter(|| {
+            let p = sched.place_app(&mut dc, black_box(&medical)).unwrap();
+            for m in p.modules.values() {
+                for a in &m.allocations {
+                    dc.release(a);
+                }
+            }
+        })
+    });
+}
+
 criterion_group!(
     benches,
     bench_placement,
     bench_policy_dispatch,
-    bench_allocation
+    bench_allocation,
+    bench_pool_churn,
+    bench_binpack,
+    bench_place_big_dc
 );
 criterion_main!(benches);

@@ -1,0 +1,159 @@
+//! Enforces performance floors over the machine-readable bench JSON
+//! that the criterion shim writes when `UDC_BENCH_JSON` is set:
+//!
+//! ```text
+//! UDC_BENCH_QUICK=1 UDC_BENCH_JSON=results/bench_control_plane.json \
+//!     cargo bench -p udc-bench --bench bench_control_plane
+//! UDC_BENCH_QUICK=1 UDC_BENCH_JSON=results/bench_telemetry.json \
+//!     cargo bench -p udc-bench --bench bench_telemetry
+//! cargo run -p udc-bench --bin bench_check -- \
+//!     results/bench_control_plane.json results/bench_telemetry.json
+//! ```
+//!
+//! Every threshold is stated next to its check. All files passed on the
+//! command line are merged into one name → ns/iter map; a missing bench
+//! name fails the run (a silently skipped check is a regression vector).
+//! Exits 0 when every check holds, 1 otherwise.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+fn load_into(map: &mut BTreeMap<String, f64>, path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let root = serde_json::parse_value(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    let benches = root
+        .get("benches")
+        .and_then(|b| b.as_array())
+        .ok_or_else(|| format!("{path}: no \"benches\" array"))?;
+    for entry in benches {
+        let name = entry
+            .get("name")
+            .and_then(|n| n.as_str())
+            .ok_or_else(|| format!("{path}: bench entry without a name"))?;
+        let ns = entry
+            .get("ns_per_iter")
+            .and_then(|n| n.as_f64())
+            .ok_or_else(|| format!("{path}: bench {name:?} without ns_per_iter"))?;
+        map.insert(name.to_string(), ns);
+    }
+    Ok(())
+}
+
+struct Checker {
+    results: BTreeMap<String, f64>,
+    failures: usize,
+}
+
+impl Checker {
+    fn ns(&mut self, name: &str) -> Option<f64> {
+        let found = self.results.get(name).copied();
+        if found.is_none() {
+            println!("FAIL  missing bench result: {name}");
+            self.failures += 1;
+        }
+        found
+    }
+
+    /// Requires `slow` to be at least `min_ratio` times slower than
+    /// `fast` — the floor on an optimization's measured speedup.
+    fn speedup(&mut self, slow: &str, fast: &str, min_ratio: f64) {
+        let (Some(s), Some(f)) = (self.ns(slow), self.ns(fast)) else {
+            return;
+        };
+        let ratio = s / f.max(1e-9);
+        let ok = ratio >= min_ratio;
+        println!(
+            "{}  {slow} / {fast} = {ratio:.2}x (floor {min_ratio:.2}x)",
+            if ok { "ok  " } else { "FAIL" },
+        );
+        if !ok {
+            self.failures += 1;
+        }
+    }
+
+    /// Requires `name` to cost at most `max_ns` ns/iter.
+    fn at_most_ns(&mut self, name: &str, max_ns: f64) {
+        let Some(ns) = self.ns(name) else { return };
+        let ok = ns <= max_ns;
+        println!(
+            "{}  {name} = {ns:.1} ns/iter (ceiling {max_ns:.1})",
+            if ok { "ok  " } else { "FAIL" },
+        );
+        if !ok {
+            self.failures += 1;
+        }
+    }
+
+    /// Requires `a` to cost at most `max_ratio` times `b`.
+    fn ratio_at_most(&mut self, a: &str, b: &str, max_ratio: f64) {
+        let (Some(na), Some(nb)) = (self.ns(a), self.ns(b)) else {
+            return;
+        };
+        let ratio = na / nb.max(1e-9);
+        let ok = ratio <= max_ratio;
+        println!(
+            "{}  {a} / {b} = {ratio:.3} (ceiling {max_ratio:.3})",
+            if ok { "ok  " } else { "FAIL" },
+        );
+        if !ok {
+            self.failures += 1;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: bench_check <bench-json>...");
+        return ExitCode::from(2);
+    }
+    let mut results = BTreeMap::new();
+    for path in &paths {
+        if let Err(msg) = load_into(&mut results, path) {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    }
+    let mut c = Checker {
+        results,
+        failures: 0,
+    };
+
+    // Allocation fast path: the indexed pool must beat the retained seed
+    // allocator by >= 3x on allocate/release churn at 16k devices (the
+    // PR's acceptance floor; measured locally at >1000x, so 3x only
+    // trips on a real regression, not CI noise).
+    c.speedup("pool_churn/linear/16000", "pool_churn/indexed/16000", 3.0);
+    // The gap must already show at 1k devices (floor 2x).
+    c.speedup("pool_churn/linear/1000", "pool_churn/indexed/1000", 2.0);
+    // Indexed bin-packing must beat the naive scan on FFD at 10k
+    // demands (floor 1.5x; measured ~9x).
+    c.speedup("binpack_10k/naive/ffd", "binpack_10k/indexed/ffd", 1.5);
+    // Best-fit must at least not regress against the naive scan.
+    c.speedup(
+        "binpack_10k/naive/bestfit",
+        "binpack_10k/indexed/bestfit",
+        1.0,
+    );
+
+    // Disabled-telemetry overhead: a no-op counter bump is one Option
+    // check and must stay under 25 ns/iter even on a noisy runner.
+    c.at_most_ns("telemetry/noop_incr", 25.0);
+    c.at_most_ns("telemetry/noop_span", 25.0);
+    // An instrumented placement with telemetry disabled must not cost
+    // more than 1.15x the enabled run (it is normally well below it;
+    // this trips if the disabled path ever starts doing real work).
+    c.ratio_at_most(
+        "telemetry_overhead/place_medical/disabled",
+        "telemetry_overhead/place_medical/enabled",
+        1.15,
+    );
+
+    if c.failures == 0 {
+        println!("bench_check: all thresholds hold");
+        ExitCode::SUCCESS
+    } else {
+        println!("bench_check: {} threshold(s) violated", c.failures);
+        ExitCode::FAILURE
+    }
+}

@@ -11,7 +11,14 @@
 //! tables are rendered *from* the registry, and the snapshot is exported
 //! as structured JSON into `results/`. Human-readable output goes to
 //! stderr; stdout carries only the path of the JSON artifact.
+//!
+//! Both the seed trials and the skew sweep are embarrassingly parallel:
+//! every trial seeds its own sampler and records into a private
+//! telemetry hub, so `--threads N` fans them across workers and the
+//! absorbed-in-trial-order export is byte-identical at any thread
+//! count.
 
+use udc_bench::harness::{fan_out, threads_from_args};
 use udc_bench::{banner_stderr, pct, results_path, Table};
 use udc_hal::pool::AllocConstraints;
 use udc_hal::{Datacenter, DatacenterConfig, FabricConfig, PoolConfig};
@@ -56,8 +63,9 @@ fn matched_pools() -> Datacenter {
 
 /// Admits the same demand stream into a server fleet and into
 /// matched-capacity pools, recording every outcome under the trial's
-/// tenant label.
-fn run_trial(tel: &Telemetry, skew_seed: u64) {
+/// tenant label in a private hub (so trials can run on any worker).
+fn run_trial(skew_seed: u64) -> Telemetry {
+    let tel = Telemetry::enabled();
     let tenant = format!("seed{skew_seed}");
     let labels = Labels::tenant(&tenant);
     let mut sampler = DemandSampler::new(skew_seed);
@@ -127,6 +135,7 @@ fn run_trial(tel: &Telemetry, skew_seed: u64) {
             ),
         ],
     );
+    tel
 }
 
 fn main() {
@@ -136,9 +145,10 @@ fn main() {
         "fine-grained disaggregated deployment improves utilization ~2x [36]",
     );
 
+    let threads = threads_from_args();
     let tel = Telemetry::enabled();
-    for seed in 1..=5u64 {
-        run_trial(&tel, seed);
+    for trial in fan_out(threads, 5, |i| run_trial(i as u64 + 1)) {
+        tel.absorb(&trial);
     }
 
     // Human summary, rendered from the registry alone.
@@ -186,7 +196,9 @@ fn main() {
     // and strand almost nothing.
     eprintln!();
     eprintln!("Skew sweep — provision-to-serve (fraction of memory-heavy vs CPU-heavy batch):");
-    for pct_mem in [0u64, 25, 50, 75, 100] {
+    let skews = [0u64, 25, 50, 75, 100];
+    let run_skew = |pct_mem: u64| {
+        let tel = Telemetry::enabled();
         let labels = Labels::tenant(format!("mem{pct_mem}"));
         let mut sampler = DemandSampler::new(100 + pct_mem);
         let demands: Vec<ResourceVector> = (0..2_000)
@@ -259,6 +271,10 @@ fn main() {
                 ),
             ],
         );
+        tel
+    };
+    for trial in fan_out(threads, skews.len(), |i| run_skew(skews[i])) {
+        tel.absorb(&trial);
     }
     let mut s = Table::new(&[
         "mem-heavy fraction",

@@ -15,6 +15,8 @@
 //! This library provides the shared table-rendering helpers so every
 //! experiment prints uniform, paper-style tables.
 
+pub mod harness;
+
 use std::fmt::Display;
 
 /// A simple fixed-width table printer for experiment output.

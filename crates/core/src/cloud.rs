@@ -514,8 +514,9 @@ impl UdcCloud {
             );
             let mut resources = Vec::new();
             for a in &p.allocations {
-                claims.insert(format!("resources.{}", a.kind), a.total_units().to_string());
-                resources.push((a.kind.to_string(), a.total_units()));
+                let units = a.total_units();
+                claims.insert(format!("resources.{}", a.kind), units.to_string());
+                resources.push((a.kind.to_string(), units));
             }
             // Replication fulfillment is also claimable (§4: features
             // "cannot be verified with today's remote attestation
@@ -849,6 +850,55 @@ mod tests {
         assert_eq!(s1.fan_out(), 2);
         let devices = s1.devices();
         assert_ne!(devices[0], devices[1]);
+    }
+
+    #[test]
+    fn telemetry_reconciles_over_indexed_pools() {
+        // Regression guard for the indexed-pool rewrite: pool-level
+        // gauges and held slices must still reconcile exactly with the
+        // (now O(1)) pool accounting, through verification and teardown.
+        let mut cloud = UdcCloud::new(CloudConfig::default());
+        let obs = cloud.enable_telemetry();
+        let mut dep = cloud.submit(&small_app()).unwrap();
+        cloud.run(&dep);
+        cloud.datacenter().observe_pool_levels();
+
+        let held: u64 = dep
+            .placement
+            .modules
+            .values()
+            .flat_map(|m| m.allocations.iter())
+            .map(|a| a.total_units())
+            .sum();
+        let mut used_total = 0;
+        for kind in ResourceKind::ALL {
+            let Some(pool) = cloud.datacenter().pool(kind) else {
+                continue;
+            };
+            let used = pool.total_used();
+            used_total += used;
+            let name = format!("hal.pool.{}.used_units", kind.name());
+            match obs.gauge(&name, &Labels::none()) {
+                Some((value, hwm)) => {
+                    assert_eq!(value as u64, used, "{kind} gauge out of sync");
+                    assert!(hwm >= value);
+                }
+                None => assert_eq!(used, 0, "{kind} used but never observed"),
+            }
+        }
+        assert_eq!(held, used_total, "held slices must equal pool accounting");
+
+        let report = cloud.verify_deployment(&dep);
+        assert!(report.all_fulfilled());
+
+        cloud.teardown(&mut dep);
+        cloud.datacenter().observe_pool_levels();
+        for kind in ResourceKind::ALL {
+            let name = format!("hal.pool.{}.used_units", kind.name());
+            if let Some((value, _)) = obs.gauge(&name, &Labels::none()) {
+                assert_eq!(value, 0, "{kind} gauge must drain on teardown");
+            }
+        }
     }
 
     #[test]

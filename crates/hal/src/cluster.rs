@@ -220,7 +220,7 @@ impl Datacenter {
         let mut crashed = Vec::new();
         for ev in self.failure_plan.due(now) {
             for pool in self.pools.values_mut() {
-                if let Some(d) = pool.device_mut(ev.device) {
+                if let Some(mut d) = pool.device_mut(ev.device) {
                     if ev.crash {
                         let victims = d.fail();
                         self.telemetry.incr("device_crashes", 1);

@@ -31,6 +31,7 @@ pub mod cluster;
 pub mod device;
 pub mod fabric;
 pub mod failure;
+pub mod linear;
 pub mod pool;
 pub mod telemetry;
 

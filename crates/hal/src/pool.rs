@@ -6,11 +6,35 @@
 //! amounts out of one or more devices — no instance shapes, no rounding
 //! up, which is precisely where UDC's waste savings (experiment E3) come
 //! from.
+//!
+//! # Allocation fast path
+//!
+//! The pool maintains an incremental free-capacity index (see
+//! [`PoolIndex`]) so the hot operations are sub-linear in device count:
+//!
+//! | operation            | naive (seed)     | indexed            |
+//! |----------------------|------------------|--------------------|
+//! | `allocate` (1 slice) | O(n)             | O(log n + A + X)   |
+//! | `allocate` (k spill) | O(n log n)       | O(k log n + A + X) |
+//! | `release`            | O(k)             | O(k log n)         |
+//! | `available_for`      | O(n)             | O(log n + X)       |
+//! | `total_capacity`     | O(n)             | O(1)               |
+//! | `total_used`         | O(n)             | O(1)               |
+//!
+//! where `A` = `constraints.avoid.len()` and `X` = devices the tenant
+//! already occupies (both small in practice). The observable behavior is
+//! bit-identical to the seed's linear scan — property tests in
+//! `tests/prop_equiv.rs` drive this implementation and
+//! [`crate::linear::LinearPool`] (the retained seed algorithm) side by
+//! side over random traces and demand identical results.
 
 use crate::device::{Device, DeviceId, DeviceState};
-use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use serde::{de, ser, Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
 use udc_spec::ResourceKind;
 
 /// A slice of one device held by an allocation.
@@ -115,11 +139,194 @@ pub struct AllocConstraints {
     pub avoid: Vec<DeviceId>,
 }
 
+/// Snapshot of the index-relevant facts about one device, kept so stale
+/// index entries can be removed in O(log n) when the device changes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct DevMeta {
+    healthy: bool,
+    capacity: u64,
+    used: u64,
+    rack: u32,
+    /// Exclusive holder, if any.
+    holder: Option<String>,
+    /// The single tenant occupying the device non-exclusively, when the
+    /// device has allocations from exactly one tenant and no holder.
+    sole: Option<String>,
+}
+
+impl DevMeta {
+    fn of(d: &Device) -> Self {
+        let mut tenants = d.tenants();
+        let first = tenants.next().map(|(t, _)| t.to_string());
+        let second = tenants.next();
+        let holder = if d.is_exclusive() {
+            first.clone()
+        } else {
+            None
+        };
+        let sole = if holder.is_none() && second.is_none() {
+            first
+        } else {
+            None
+        };
+        DevMeta {
+            healthy: d.state == DeviceState::Healthy,
+            capacity: d.capacity,
+            used: d.used(),
+            rack: d.rack,
+            holder,
+            sole,
+        }
+    }
+
+    fn free(&self) -> u64 {
+        self.capacity - self.used
+    }
+
+    fn vacant(&self) -> bool {
+        self.used == 0 && self.holder.is_none() && self.sole.is_none()
+    }
+}
+
+/// The incremental free-capacity index. Devices appear in partitions by
+/// their sharing state:
+///
+/// - *general*: healthy, no exclusive holder — free for every tenant;
+///   keyed ascending and descending by `(free, id)` (globally and
+///   per rack) to serve best-fit probes and worst-fit spills.
+/// - *vacant*: healthy with no allocations at all — the only devices a
+///   tenant with no footprint can take exclusively.
+/// - *sole\[t\]* / *excl\[t\]*: devices occupied by exactly tenant `t`
+///   (without / with the exclusive flag) — the tenant-private candidate
+///   sets for exclusive and spill allocation.
+///
+/// Failed devices appear in no partition.
+#[derive(Debug, Clone, Default)]
+struct PoolIndex {
+    general_asc: BTreeSet<(u64, DeviceId)>,
+    general_desc: BTreeSet<(Reverse<u64>, DeviceId)>,
+    rack_asc: BTreeMap<u32, BTreeSet<(u64, DeviceId)>>,
+    rack_desc: BTreeMap<u32, BTreeSet<(Reverse<u64>, DeviceId)>>,
+    vacant_asc: BTreeSet<(u64, DeviceId)>,
+    rack_vacant_asc: BTreeMap<u32, BTreeSet<(u64, DeviceId)>>,
+    sole: BTreeMap<String, BTreeSet<DeviceId>>,
+    excl: BTreeMap<String, BTreeSet<DeviceId>>,
+    /// Sum of free units across the general partition.
+    general_free: u64,
+    /// Capacity / used sums over healthy devices (`total_capacity`,
+    /// `total_used` in O(1)).
+    healthy_capacity: u64,
+    healthy_used: u64,
+    meta: BTreeMap<DeviceId, DevMeta>,
+}
+
+impl PoolIndex {
+    fn insert(&mut self, id: DeviceId, m: &DevMeta) {
+        if !m.healthy {
+            return;
+        }
+        self.healthy_capacity += m.capacity;
+        self.healthy_used += m.used;
+        match &m.holder {
+            Some(holder) => {
+                self.excl.entry(holder.clone()).or_default().insert(id);
+            }
+            None => {
+                let free = m.free();
+                self.general_asc.insert((free, id));
+                self.general_desc.insert((Reverse(free), id));
+                self.rack_asc.entry(m.rack).or_default().insert((free, id));
+                self.rack_desc
+                    .entry(m.rack)
+                    .or_default()
+                    .insert((Reverse(free), id));
+                self.general_free += free;
+                if m.vacant() {
+                    self.vacant_asc.insert((m.capacity, id));
+                    self.rack_vacant_asc
+                        .entry(m.rack)
+                        .or_default()
+                        .insert((m.capacity, id));
+                } else if let Some(t) = &m.sole {
+                    self.sole.entry(t.clone()).or_default().insert(id);
+                }
+            }
+        }
+    }
+
+    fn remove(&mut self, id: DeviceId, m: &DevMeta) {
+        if !m.healthy {
+            return;
+        }
+        self.healthy_capacity -= m.capacity;
+        self.healthy_used -= m.used;
+        match &m.holder {
+            Some(holder) => {
+                if let Some(set) = self.excl.get_mut(holder) {
+                    set.remove(&id);
+                    if set.is_empty() {
+                        self.excl.remove(holder);
+                    }
+                }
+            }
+            None => {
+                let free = m.free();
+                self.general_asc.remove(&(free, id));
+                self.general_desc.remove(&(Reverse(free), id));
+                if let Some(set) = self.rack_asc.get_mut(&m.rack) {
+                    set.remove(&(free, id));
+                }
+                if let Some(set) = self.rack_desc.get_mut(&m.rack) {
+                    set.remove(&(Reverse(free), id));
+                }
+                self.general_free -= free;
+                if m.vacant() {
+                    self.vacant_asc.remove(&(m.capacity, id));
+                    if let Some(set) = self.rack_vacant_asc.get_mut(&m.rack) {
+                        set.remove(&(m.capacity, id));
+                    }
+                } else if let Some(t) = &m.sole {
+                    if let Some(set) = self.sole.get_mut(t) {
+                        set.remove(&id);
+                        if set.is_empty() {
+                            self.sole.remove(t);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+static NEXT_POOL_INSTANCE: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_instance() -> u64 {
+    NEXT_POOL_INSTANCE.fetch_add(1, Ordering::Relaxed)
+}
+
 /// A pool of devices of one resource kind.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug)]
 pub struct ResourcePool {
     kind: ResourceKind,
     devices: BTreeMap<DeviceId, Device>,
+    index: PoolIndex,
+    instance: u64,
+    version: u64,
+}
+
+impl Clone for ResourcePool {
+    fn clone(&self) -> Self {
+        // A clone diverges independently, so it gets its own identity:
+        // stamps must never collide between pools with different
+        // contents (the scheduler's candidate cache keys on them).
+        Self {
+            kind: self.kind,
+            devices: self.devices.clone(),
+            index: self.index.clone(),
+            instance: fresh_instance(),
+            version: 0,
+        }
+    }
 }
 
 impl ResourcePool {
@@ -128,12 +335,55 @@ impl ResourcePool {
         Self {
             kind,
             devices: BTreeMap::new(),
+            index: PoolIndex::default(),
+            instance: fresh_instance(),
+            version: 0,
         }
+    }
+
+    fn from_parts(kind: ResourceKind, devices: BTreeMap<DeviceId, Device>) -> Self {
+        let mut pool = Self::new(kind);
+        for (id, d) in devices {
+            assert_eq!(d.kind, kind, "device kind must match pool kind");
+            let m = DevMeta::of(&d);
+            pool.index.insert(id, &m);
+            pool.index.meta.insert(id, m);
+            pool.devices.insert(id, d);
+        }
+        pool
     }
 
     /// The pool's resource kind.
     pub fn kind(&self) -> ResourceKind {
         self.kind
+    }
+
+    /// An identity stamp `(instance, version)` for cache invalidation:
+    /// `instance` is unique per pool object, `version` bumps whenever
+    /// the device *set* or device-level facts (capacity, rack, state)
+    /// may have changed. Plain allocate/release traffic does not bump
+    /// the version — only free units change, which cache holders are
+    /// expected to refresh themselves.
+    pub fn stamp(&self) -> (u64, u64) {
+        (self.instance, self.version)
+    }
+
+    /// Re-derives the index entries for one device after it changed.
+    fn reindex_device(&mut self, id: DeviceId) {
+        let new = self.devices.get(&id).map(DevMeta::of);
+        let old = match &new {
+            Some(m) => self.index.meta.insert(id, m.clone()),
+            None => self.index.meta.remove(&id),
+        };
+        if old == new {
+            return;
+        }
+        if let Some(m) = &old {
+            self.index.remove(id, m);
+        }
+        if let Some(m) = &new {
+            self.index.insert(id, m);
+        }
     }
 
     /// Adds a device.
@@ -145,8 +395,11 @@ impl ResourcePool {
     /// conditions.
     pub fn add_device(&mut self, device: Device) {
         assert_eq!(device.kind, self.kind, "device kind must match pool kind");
-        let prev = self.devices.insert(device.id, device);
+        let id = device.id;
+        let prev = self.devices.insert(id, device);
         assert!(prev.is_none(), "duplicate device id in pool");
+        self.reindex_device(id);
+        self.version += 1;
     }
 
     /// Number of devices (any state).
@@ -161,20 +414,12 @@ impl ResourcePool {
 
     /// Total capacity of healthy devices.
     pub fn total_capacity(&self) -> u64 {
-        self.devices
-            .values()
-            .filter(|d| d.state == DeviceState::Healthy)
-            .map(|d| d.capacity)
-            .sum()
+        self.index.healthy_capacity
     }
 
     /// Units currently allocated across healthy devices.
     pub fn total_used(&self) -> u64 {
-        self.devices
-            .values()
-            .filter(|d| d.state == DeviceState::Healthy)
-            .map(|d| d.used())
-            .sum()
+        self.index.healthy_used
     }
 
     /// Utilization in \[0, 1\] (0 for an empty pool).
@@ -187,17 +432,63 @@ impl ResourcePool {
         }
     }
 
+    /// Free units on the tenant's private devices (exclusively held, or
+    /// solely occupied when `include_sole`), optionally capped to a rack
+    /// predicate. These sets are bounded by the tenant's own footprint,
+    /// not by pool size.
+    fn tenant_devices<'a>(
+        &'a self,
+        tenant: &str,
+        include_sole: bool,
+    ) -> impl Iterator<Item = &'a Device> + 'a {
+        let excl = self.index.excl.get(tenant).into_iter().flatten();
+        let sole = if include_sole {
+            Some(self.index.sole.get(tenant).into_iter().flatten())
+        } else {
+            None
+        };
+        excl.chain(sole.into_iter().flatten())
+            .map(|id| &self.devices[id])
+    }
+
     /// Units free for `tenant` under `constraints`.
     pub fn available_for(&self, tenant: &str, constraints: &AllocConstraints) -> u64 {
-        if constraints.exclusive || constraints.single_device {
-            self.devices
-                .values()
-                .filter(|d| !constraints.exclusive || d.vacant_except(tenant))
+        if constraints.exclusive {
+            // Largest free slot among devices the tenant could take
+            // exclusively: vacant devices plus its own footprint.
+            let vacant_max = self
+                .index
+                .vacant_asc
+                .iter()
+                .next_back()
+                .map(|&(cap, _)| cap)
+                .unwrap_or(0);
+            let own_max = self
+                .tenant_devices(tenant, true)
                 .map(|d| d.free_for(tenant))
                 .max()
-                .unwrap_or(0)
+                .unwrap_or(0);
+            vacant_max.max(own_max)
+        } else if constraints.single_device {
+            let general_max = self
+                .index
+                .general_asc
+                .iter()
+                .next_back()
+                .map(|&(free, _)| free)
+                .unwrap_or(0);
+            let excl_max = self
+                .tenant_devices(tenant, false)
+                .map(|d| d.free_for(tenant))
+                .max()
+                .unwrap_or(0);
+            general_max.max(excl_max)
         } else {
-            self.devices.values().map(|d| d.free_for(tenant)).sum()
+            self.index.general_free
+                + self
+                    .tenant_devices(tenant, false)
+                    .map(|d| d.free_for(tenant))
+                    .sum::<u64>()
         }
     }
 
@@ -223,46 +514,41 @@ impl ResourcePool {
             return self.allocate_single_device(tenant, units, constraints);
         }
 
-        // Plan first (immutable), commit after: never leave a partial
-        // allocation behind.
-        let mut remaining = units;
-        let mut plan: Vec<(DeviceId, u64)> = Vec::new();
-        let mut candidates: Vec<&Device> = self
-            .devices
-            .values()
-            .filter(|d| d.free_for(tenant) > 0 && !constraints.avoid.contains(&d.id))
-            .collect();
-        // Preferred rack first, then largest free first (fewest slices).
-        candidates.sort_by_key(|d| {
-            let rack_penalty = match constraints.prefer_rack {
-                Some(r) if d.rack == r => 0u8,
-                Some(_) => 1,
-                None => 0,
-            };
-            (rack_penalty, std::cmp::Reverse(d.free_for(tenant)), d.id)
-        });
-        for d in candidates {
-            if remaining == 0 {
-                break;
-            }
-            let take = remaining.min(d.free_for(tenant));
-            if take > 0 {
-                plan.push((d.id, take));
-                remaining -= take;
-            }
-        }
-        if remaining > 0 {
+        // Worst-fit spill across devices. Feasibility is decided up
+        // front from the running free totals, so the greedy plan below
+        // only ever runs to completion.
+        let avoided_free: u64 = constraints
+            .avoid
+            .iter()
+            .enumerate()
+            // Tolerate duplicate avoid entries: count each device once.
+            .filter(|(i, id)| !constraints.avoid[..*i].contains(id))
+            .filter_map(|(_, id)| self.index.meta.get(id))
+            .filter(|m| m.healthy && m.holder.is_none())
+            .map(|m| m.free())
+            .sum();
+        let own_free: u64 = self
+            .tenant_devices(tenant, false)
+            .filter(|d| !constraints.avoid.contains(&d.id))
+            .map(|d| d.free_for(tenant))
+            .sum();
+        let available = self.index.general_free - avoided_free + own_free;
+        if available < units {
             return Err(AllocError::Insufficient {
                 kind: self.kind,
                 requested: units,
-                available: units - remaining,
+                available,
             });
         }
+
+        let plan = self.plan_spill(tenant, units, constraints);
+        debug_assert_eq!(plan.iter().map(|&(_, u)| u).sum::<u64>(), units);
         let mut slices = Vec::with_capacity(plan.len());
         for (id, take) in plan {
             let d = self.devices.get_mut(&id).expect("planned device exists");
             let ok = d.allocate(tenant, take, false);
             debug_assert!(ok, "planned allocation must succeed");
+            self.reindex_device(id);
             slices.push(Slice {
                 device: id,
                 units: take,
@@ -276,6 +562,118 @@ impl ResourcePool {
         })
     }
 
+    /// Plans a guaranteed-feasible multi-device allocation in the seed's
+    /// candidate order: `(rack_penalty, free desc, id asc)` over general
+    /// devices merged with the tenant's exclusively-held devices.
+    fn plan_spill(
+        &self,
+        tenant: &str,
+        units: u64,
+        constraints: &AllocConstraints,
+    ) -> Vec<(DeviceId, u64)> {
+        let avoid = &constraints.avoid;
+        // The tenant's own exclusive devices, split by rack preference,
+        // descending by (free, id) to merge with the general streams.
+        let mut own_near: Vec<(u64, DeviceId)> = Vec::new();
+        let mut own_far: Vec<(u64, DeviceId)> = Vec::new();
+        for d in self.tenant_devices(tenant, false) {
+            if avoid.contains(&d.id) {
+                continue;
+            }
+            let free = d.free_for(tenant);
+            if free == 0 {
+                continue;
+            }
+            match constraints.prefer_rack {
+                Some(r) if d.rack != r => own_far.push((free, d.id)),
+                _ => own_near.push((free, d.id)),
+            }
+        }
+        own_near.sort_by_key(|&(free, id)| (Reverse(free), id));
+        own_far.sort_by_key(|&(free, id)| (Reverse(free), id));
+
+        let mut remaining = units;
+        let mut plan: Vec<(DeviceId, u64)> = Vec::new();
+        let consume = |general: &mut dyn Iterator<Item = (u64, DeviceId)>,
+                       own: &[(u64, DeviceId)],
+                       remaining: &mut u64,
+                       plan: &mut Vec<(DeviceId, u64)>| {
+            let mut general = general.peekable();
+            let mut own = own.iter().copied().peekable();
+            while *remaining > 0 {
+                // Pick whichever stream heads the merged worst-fit
+                // order: larger free first, then smaller id.
+                let from_general = match (general.peek(), own.peek()) {
+                    (None, None) => break,
+                    (Some(_), None) => true,
+                    (None, Some(_)) => false,
+                    (Some(&(gf, gid)), Some(&(of, oid))) => (Reverse(gf), gid) < (Reverse(of), oid),
+                };
+                let (free, id) = if from_general {
+                    general.next().unwrap()
+                } else {
+                    own.next().unwrap()
+                };
+                if free == 0 {
+                    break;
+                }
+                if from_general && avoid.contains(&id) {
+                    continue;
+                }
+                let take = (*remaining).min(free);
+                plan.push((id, take));
+                *remaining -= take;
+            }
+        };
+
+        match constraints.prefer_rack {
+            None => {
+                let mut general = self
+                    .index
+                    .general_desc
+                    .iter()
+                    .map(|&(Reverse(free), id)| (free, id));
+                consume(&mut general, &own_near, &mut remaining, &mut plan);
+            }
+            Some(r) => {
+                let mut near = self
+                    .index
+                    .rack_desc
+                    .get(&r)
+                    .into_iter()
+                    .flatten()
+                    .map(|&(Reverse(free), id)| (free, id));
+                consume(&mut near, &own_near, &mut remaining, &mut plan);
+                if remaining > 0 {
+                    // Everything in rack `r` is exhausted, so the rack-r
+                    // entries still present in the global stream carry
+                    // zero takeable units; skip them by rack.
+                    let mut far = self
+                        .index
+                        .general_desc
+                        .iter()
+                        .map(|&(Reverse(free), id)| (free, id))
+                        .filter(|&(_, id)| self.index.meta[&id].rack != r);
+                    consume(&mut far, &own_far, &mut remaining, &mut plan);
+                }
+            }
+        }
+        plan
+    }
+
+    /// First entry at or above `units` in an ascending `(free, id)` set,
+    /// skipping avoided devices: the best-fit (smallest sufficient,
+    /// lowest id) candidate of that partition.
+    fn probe(
+        set: &BTreeSet<(u64, DeviceId)>,
+        units: u64,
+        avoid: &[DeviceId],
+    ) -> Option<(u64, DeviceId)> {
+        set.range((units, DeviceId(0))..)
+            .find(|(_, id)| !avoid.contains(id))
+            .copied()
+    }
+
     fn allocate_single_device(
         &mut self,
         tenant: &str,
@@ -283,34 +681,62 @@ impl ResourcePool {
         constraints: &AllocConstraints,
     ) -> Result<Allocation, AllocError> {
         // Best-fit: the smallest device slot that satisfies the request,
-        // preferring the requested rack.
+        // preferring the requested rack. Candidates come from the index
+        // partition matching the constraint (vacant devices for
+        // exclusive, the general partition otherwise) plus the tenant's
+        // own footprint, compared under the seed's `(rack_penalty, free,
+        // id)` key.
         let mut best: Option<(u8, u64, DeviceId)> = None;
-        for d in self.devices.values() {
-            if let Some(req) = constraints.require_device {
-                if d.id != req {
-                    continue;
-                }
-            }
-            if constraints.avoid.contains(&d.id) {
-                continue;
-            }
-            if constraints.exclusive && !d.vacant_except(tenant) {
-                continue;
-            }
-            let free = d.free_for(tenant);
-            if free < units {
-                continue;
-            }
-            let rack_penalty = match constraints.prefer_rack {
-                Some(r) if d.rack == r => 0u8,
-                Some(_) => 1,
-                None => 0,
-            };
-            let key = (rack_penalty, free, d.id);
+        let mut consider = |key: (u8, u64, DeviceId)| {
             if best.is_none_or(|b| key < b) {
                 best = Some(key);
             }
+        };
+        let penalty_of = |rack: u32| match constraints.prefer_rack {
+            Some(r) if rack == r => 0u8,
+            Some(_) => 1,
+            None => 0,
+        };
+
+        if let Some(req) = constraints.require_device {
+            // Hard pin: only the named device can match; check it
+            // directly under the same filters as the open scan.
+            if let Some(d) = self.devices.get(&req) {
+                if !constraints.avoid.contains(&d.id)
+                    && (!constraints.exclusive || d.vacant_except(tenant))
+                    && d.free_for(tenant) >= units
+                {
+                    consider((penalty_of(d.rack), d.free_for(tenant), d.id));
+                }
+            }
+        } else {
+            let shared = if constraints.exclusive {
+                (&self.index.vacant_asc, &self.index.rack_vacant_asc)
+            } else {
+                (&self.index.general_asc, &self.index.rack_asc)
+            };
+            if let Some(r) = constraints.prefer_rack {
+                if let Some(set) = shared.1.get(&r) {
+                    if let Some((free, id)) = Self::probe(set, units, &constraints.avoid) {
+                        consider((0, free, id));
+                    }
+                }
+            }
+            if let Some((free, id)) = Self::probe(shared.0, units, &constraints.avoid) {
+                consider((penalty_of(self.index.meta[&id].rack), free, id));
+            }
+            for d in self.tenant_devices(tenant, constraints.exclusive) {
+                if constraints.avoid.contains(&d.id) {
+                    continue;
+                }
+                let free = d.free_for(tenant);
+                if free < units {
+                    continue;
+                }
+                consider((penalty_of(d.rack), free, d.id));
+            }
         }
+
         let Some((_, _, id)) = best else {
             return Err(if constraints.exclusive {
                 AllocError::NoExclusiveDevice {
@@ -328,6 +754,7 @@ impl ResourcePool {
         let d = self.devices.get_mut(&id).expect("chosen device exists");
         let ok = d.allocate(tenant, units, constraints.exclusive);
         debug_assert!(ok, "chosen device must accept the allocation");
+        self.reindex_device(id);
         Ok(Allocation {
             kind: self.kind,
             tenant: tenant.to_string(),
@@ -345,6 +772,7 @@ impl ResourcePool {
         for s in &alloc.slices {
             if let Some(d) = self.devices.get_mut(&s.device) {
                 d.release(&alloc.tenant, s.units);
+                self.reindex_device(s.device);
             }
         }
     }
@@ -354,9 +782,15 @@ impl ResourcePool {
         self.devices.get(&id)
     }
 
-    /// Mutable access to a device (failure injection, repair).
-    pub fn device_mut(&mut self, id: DeviceId) -> Option<&mut Device> {
-        self.devices.get_mut(&id)
+    /// Mutable access to a device (failure injection, repair). The
+    /// returned guard re-syncs the pool's free-capacity index when
+    /// dropped, so callers may mutate the device freely.
+    pub fn device_mut(&mut self, id: DeviceId) -> Option<DeviceMut<'_>> {
+        if self.devices.contains_key(&id) {
+            Some(DeviceMut { pool: self, id })
+        } else {
+            None
+        }
     }
 
     /// Iterates devices in id order.
@@ -367,7 +801,73 @@ impl ResourcePool {
     /// Count of devices held exclusively (single-tenant waste metric,
     /// experiment E7).
     pub fn exclusive_devices(&self) -> usize {
-        self.devices.values().filter(|d| d.is_exclusive()).count()
+        self.index.excl.values().map(|s| s.len()).sum()
+    }
+}
+
+/// Mutable device access that keeps the pool index coherent: any change
+/// made through the guard (failure, repair, direct field edits) is
+/// folded back into the index when the guard drops.
+pub struct DeviceMut<'a> {
+    pool: &'a mut ResourcePool,
+    id: DeviceId,
+}
+
+impl Deref for DeviceMut<'_> {
+    type Target = Device;
+
+    fn deref(&self) -> &Device {
+        &self.pool.devices[&self.id]
+    }
+}
+
+impl DerefMut for DeviceMut<'_> {
+    fn deref_mut(&mut self) -> &mut Device {
+        self.pool
+            .devices
+            .get_mut(&self.id)
+            .expect("guarded device exists")
+    }
+}
+
+impl Drop for DeviceMut<'_> {
+    fn drop(&mut self) {
+        self.pool.reindex_device(self.id);
+        // Guard mutations may change capacity/rack/state, which cached
+        // candidate lists depend on.
+        self.pool.version += 1;
+    }
+}
+
+impl fmt::Debug for DeviceMut<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+// The index is derived state: serialize only the ground truth and
+// rebuild on the way in (also keeps the wire format identical to the
+// seed's derived form).
+impl ser::Serialize for ResourcePool {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("kind".to_string(), self.kind.to_value()),
+            ("devices".to_string(), self.devices.to_value()),
+        ])
+    }
+}
+
+impl de::Deserialize for ResourcePool {
+    fn from_value(v: &serde::Value) -> Result<Self, de::Error> {
+        let entries = de::as_object(v, "ResourcePool")?;
+        let kind: ResourceKind = de::field(entries, "kind")?;
+        let devices: BTreeMap<DeviceId, Device> = de::field(entries, "devices")?;
+        for d in devices.values() {
+            if d.kind != kind {
+                return Err(de::Error::msg("device kind must match pool kind"));
+            }
+        }
+        Ok(Self::from_parts(kind, devices))
     }
 }
 
@@ -603,5 +1103,58 @@ mod tests {
     fn duplicate_device_panics() {
         let mut p = pool(&[8]);
         p.add_device(Device::new(DeviceId(0), ResourceKind::Cpu, 8, 0));
+    }
+
+    #[test]
+    fn repair_reinstates_device() {
+        let mut p = pool(&[16, 16]);
+        p.device_mut(DeviceId(0)).unwrap().fail();
+        assert_eq!(p.total_capacity(), 16);
+        p.device_mut(DeviceId(0)).unwrap().repair();
+        assert_eq!(p.total_capacity(), 32);
+        let a = p.allocate("t", 32, &AllocConstraints::default()).unwrap();
+        assert_eq!(a.total_units(), 32);
+    }
+
+    #[test]
+    fn stamp_tracks_structural_changes() {
+        let mut p = pool(&[8]);
+        let s0 = p.stamp();
+        p.allocate("t", 4, &AllocConstraints::default()).unwrap();
+        assert_eq!(p.stamp(), s0, "allocations do not bump the version");
+        p.add_device(Device::new(DeviceId(9), ResourceKind::Cpu, 8, 0));
+        assert_ne!(p.stamp(), s0, "adding a device bumps the version");
+        let s1 = p.stamp();
+        p.device_mut(DeviceId(9)).unwrap().fail();
+        assert_ne!(p.stamp(), s1, "guard mutations bump the version");
+        let q = p.clone();
+        assert_ne!(q.stamp().0, p.stamp().0, "clones get their own identity");
+    }
+
+    #[test]
+    fn serde_round_trip_rebuilds_index() {
+        let mut p = pool(&[16, 16, 16]);
+        let a = p.allocate("t1", 10, &AllocConstraints::default()).unwrap();
+        p.allocate(
+            "t2",
+            4,
+            &AllocConstraints {
+                exclusive: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let js = serde_json::to_string(&p).unwrap();
+        let mut q: ResourcePool = serde_json::from_str(&js).unwrap();
+        assert_eq!(q.total_used(), p.total_used());
+        assert_eq!(q.total_capacity(), p.total_capacity());
+        assert_eq!(q.exclusive_devices(), 1);
+        assert_eq!(
+            q.available_for("t3", &AllocConstraints::default()),
+            p.available_for("t3", &AllocConstraints::default())
+        );
+        // The rebuilt index still allocates and releases coherently.
+        q.release(&a);
+        assert_eq!(q.total_used(), 4);
     }
 }

@@ -6,6 +6,25 @@
 //! as the today's-cloud side of that comparison. LegoOS \[36\] reported
 //! ~2× utilization improvement from abandoning server boundaries — the
 //! shape this baseline lets us reproduce.
+//!
+//! # Open-server index
+//!
+//! The seed implementation re-scanned every open server per placed
+//! demand (O(servers) per demand, quadratic per workload). The cluster
+//! now maintains two structures over its open servers:
+//!
+//! - a segment tree of per-dimension free maxima ([`MaxSegTree`]) whose
+//!   leftmost-fit descent answers first-fit in O(log servers) with the
+//!   exact `iter().position()` semantics, and
+//! - an ordered residual index `(scalar free, index)` whose ascending
+//!   range scan answers best-fit: when a demand fits a server, the
+//!   leftover scalar is `scalar(free) − scalar(demand)`, so the first
+//!   fitting entry at or above `scalar(demand)` *is* the
+//!   `min_by_key(leftover)` winner, lowest index on ties.
+//!
+//! [`NaiveServerCluster`] retains the seed scan verbatim so property
+//! tests (`tests/prop_binpack_equiv.rs`) and `bench_control_plane` can
+//! hold the index to the original behavior and price the difference.
 
 use serde::{Deserialize, Serialize};
 use udc_spec::{ResourceKind, ResourceVector};
@@ -55,17 +74,141 @@ pub struct PackOutcome {
 impl PackOutcome {
     /// Mean utilization across kinds that were provisioned, in \[0, 1\].
     pub fn mean_utilization(&self) -> f64 {
-        let mut fractions = Vec::new();
-        for (_, used, cap) in &self.utilization {
-            if *cap > 0 {
-                fractions.push(*used as f64 / *cap as f64);
-            }
-        }
-        if fractions.is_empty() {
+        let (sum, n) = self
+            .utilization
+            .iter()
+            .filter(|(_, _, cap)| *cap > 0)
+            .fold((0.0f64, 0usize), |(sum, n), (_, used, cap)| {
+                (sum + *used as f64 / *cap as f64, n + 1)
+            });
+        if n == 0 {
             0.0
         } else {
-            fractions.iter().sum::<f64>() / fractions.len() as f64
+            sum / n as f64
         }
+    }
+}
+
+/// A segment tree over open servers holding the per-dimension maximum
+/// free capacity of each subtree. Leftmost-fit searches left-to-right,
+/// pruning any subtree with some dimension's maximum below the demand —
+/// a sound prune (no server inside can host) — and accepts the first
+/// leaf whose entries host, which is exact because leaf entries are the
+/// server's actual free vector. Maxima passing at an inner node is
+/// *not* sufficient (each dimension's max may come from a different
+/// child), hence the search rather than a single descent.
+#[derive(Debug, Clone, Default)]
+struct MaxSegTree {
+    dims: Vec<ResourceKind>,
+    /// Leaf capacity (power of two; 0 until the first push).
+    cap: usize,
+    /// Active leaves.
+    len: usize,
+    /// Flat per-node maxima: node `n` occupies
+    /// `[n * dims.len(), (n + 1) * dims.len())`. Nodes `1..2*cap`;
+    /// leaves start at `cap`. Unused leaves stay all-zero, so they can
+    /// never host a non-zero demand.
+    node: Vec<u64>,
+}
+
+impl MaxSegTree {
+    fn new(dims: Vec<ResourceKind>) -> Self {
+        Self {
+            dims,
+            cap: 0,
+            len: 0,
+            node: Vec::new(),
+        }
+    }
+
+    fn d(&self) -> usize {
+        self.dims.len()
+    }
+
+    fn write_leaf(&mut self, idx: usize, free: &ResourceVector) {
+        let base = (self.cap + idx) * self.d();
+        for (j, &k) in self.dims.iter().enumerate() {
+            self.node[base + j] = free.get(k);
+        }
+    }
+
+    fn recompute(&mut self, n: usize) {
+        let d = self.d();
+        let (base, left, right) = (n * d, 2 * n * d, (2 * n + 1) * d);
+        for j in 0..d {
+            self.node[base + j] = self.node[left + j].max(self.node[right + j]);
+        }
+    }
+
+    fn bubble_up(&mut self, idx: usize) {
+        let mut n = (self.cap + idx) / 2;
+        while n >= 1 {
+            self.recompute(n);
+            n /= 2;
+        }
+    }
+
+    /// Appends a leaf, doubling the tree when full.
+    fn push(&mut self, free: &ResourceVector) {
+        if self.len == self.cap {
+            let new_cap = (self.cap * 2).max(1);
+            let d = self.d();
+            let mut grown = Self {
+                dims: std::mem::take(&mut self.dims),
+                cap: new_cap,
+                len: self.len,
+                node: vec![0u64; 2 * new_cap * d],
+            };
+            for i in 0..self.len {
+                let (src, dst) = ((self.cap + i) * d, (new_cap + i) * d);
+                grown.node[dst..dst + d].copy_from_slice(&self.node[src..src + d]);
+            }
+            for n in (1..new_cap).rev() {
+                grown.recompute(n);
+            }
+            *self = grown;
+        }
+        let idx = self.len;
+        self.len += 1;
+        self.write_leaf(idx, free);
+        self.bubble_up(idx);
+    }
+
+    /// Overwrites leaf `idx` with the server's new free vector.
+    fn update(&mut self, idx: usize, free: &ResourceVector) {
+        self.write_leaf(idx, free);
+        self.bubble_up(idx);
+    }
+
+    /// Lowest leaf whose free vector hosts `demand` in every dimension —
+    /// the `iter().position(|free| demand.fits_in(free))` answer.
+    fn leftmost_fit(&self, demand: &ResourceVector) -> Option<usize> {
+        if self.len == 0 {
+            return None;
+        }
+        let d = self.d();
+        let need: Vec<u64> = self.dims.iter().map(|&k| demand.get(k)).collect();
+        let hosts = |n: usize| (0..d).all(|j| self.node[n * d + j] >= need[j]);
+        // DFS preferring the left child: pushed right-then-left so leaves
+        // are visited in index order; the first hosting leaf wins.
+        let mut stack = vec![1usize];
+        while let Some(n) = stack.pop() {
+            if !hosts(n) {
+                continue;
+            }
+            if n >= self.cap {
+                let idx = n - self.cap;
+                if idx < self.len {
+                    return Some(idx);
+                }
+                // An unused all-zero leaf can only host an all-zero
+                // demand; keep looking (there is nothing to its right).
+                continue;
+            }
+            stack.push(2 * n + 1);
+            stack.push(2 * n);
+        }
+        None
     }
 }
 
@@ -77,11 +220,141 @@ pub struct ServerCluster {
     shape: ServerShape,
     /// Free capacity of each opened server.
     open: Vec<ResourceVector>,
+    /// `(scalar free, index)` over open servers, ascending — the
+    /// best-fit residual index.
+    by_scalar: std::collections::BTreeSet<(u64, usize)>,
+    /// Per-dimension free maxima — the first-fit index.
+    max_tree: MaxSegTree,
     used_total: ResourceVector,
     unplaceable: usize,
 }
 
 impl ServerCluster {
+    /// Creates an empty cluster of the given shape.
+    pub fn new(shape: ServerShape) -> Self {
+        let dims: Vec<ResourceKind> = shape.capacity.iter().map(|(k, _)| k).collect();
+        Self {
+            shape,
+            open: Vec::new(),
+            by_scalar: std::collections::BTreeSet::new(),
+            max_tree: MaxSegTree::new(dims),
+            used_total: ResourceVector::new(),
+            unplaceable: 0,
+        }
+    }
+
+    /// Packs one demand, opening a new server if necessary. Returns the
+    /// server index, or `None` when the demand exceeds the shape itself.
+    pub fn place(&mut self, demand: &ResourceVector, algo: PackAlgo) -> Option<usize> {
+        if !demand.fits_in(&self.shape.capacity) {
+            self.unplaceable += 1;
+            return None;
+        }
+        let chosen = match algo {
+            PackAlgo::FirstFitDecreasing => self.max_tree.leftmost_fit(demand),
+            PackAlgo::BestFit => {
+                // Every fitting server satisfies scalar(free) ≥
+                // scalar(demand) and leaves scalar(free) − scalar(demand)
+                // behind, so the first fitting entry of the ascending
+                // range is the least-leftover, lowest-index winner.
+                let floor = demand.scalar_size();
+                self.by_scalar
+                    .range((floor, 0)..)
+                    .find(|&&(_, i)| demand.fits_in(&self.open[i]))
+                    .map(|&(_, i)| i)
+            }
+        };
+        let idx = match chosen {
+            Some(i) => i,
+            None => {
+                self.open.push(self.shape.capacity.clone());
+                let i = self.open.len() - 1;
+                self.by_scalar.insert((self.open[i].scalar_size(), i));
+                self.max_tree.push(&self.open[i]);
+                i
+            }
+        };
+        self.by_scalar.remove(&(self.open[idx].scalar_size(), idx));
+        self.open[idx].saturating_sub_assign(demand);
+        self.by_scalar.insert((self.open[idx].scalar_size(), idx));
+        self.max_tree.update(idx, &self.open[idx]);
+        self.used_total.saturating_add_assign(demand);
+        Some(idx)
+    }
+
+    /// Packs one demand like [`ServerCluster::place`], but refuses to
+    /// grow the fleet beyond `max_servers` — the fixed-fleet admission
+    /// model of experiment E4. Returns `None` (without side effects)
+    /// when the demand fits no open server and the fleet is at its cap.
+    pub fn place_bounded(
+        &mut self,
+        demand: &ResourceVector,
+        algo: PackAlgo,
+        max_servers: usize,
+    ) -> Option<usize> {
+        if !demand.fits_in(&self.shape.capacity) {
+            self.unplaceable += 1;
+            return None;
+        }
+        let fits_open = self.max_tree.leftmost_fit(demand).is_some();
+        if !fits_open && self.open.len() >= max_servers {
+            return None;
+        }
+        self.place(demand, algo)
+    }
+
+    /// Packs a whole workload (sorted decreasing for FFD; as-given for
+    /// best-fit) and reports the outcome.
+    pub fn pack_all(&mut self, demands: &[ResourceVector], algo: PackAlgo) -> PackOutcome {
+        let mut items: Vec<(u64, &ResourceVector)> =
+            demands.iter().map(|d| (d.scalar_size(), d)).collect();
+        if algo == PackAlgo::FirstFitDecreasing {
+            // Precomputed keys; the stable sort keeps ties in input
+            // order, as the seed's sort_by_key did.
+            items.sort_by_key(|&(size, _)| std::cmp::Reverse(size));
+        }
+        for (_, d) in items {
+            self.place(d, algo);
+        }
+        self.outcome()
+    }
+
+    /// The current outcome.
+    pub fn outcome(&self) -> PackOutcome {
+        let provisioned = self.shape.capacity.scaled(self.open.len() as u64);
+        let utilization = ResourceKind::ALL
+            .into_iter()
+            .filter(|k| provisioned.get(*k) > 0)
+            .map(|k| (k, self.used_total.get(k), provisioned.get(k)))
+            .collect();
+        PackOutcome {
+            servers_used: self.open.len(),
+            unplaceable: self.unplaceable,
+            utilization,
+        }
+    }
+
+    /// Servers opened so far.
+    pub fn servers_used(&self) -> usize {
+        self.open.len()
+    }
+}
+
+/// The seed bin-packer, retained verbatim as the reference the indexed
+/// [`ServerCluster`] is proven against (property tests) and benchmarked
+/// against (`bench_control_plane`). Re-scans every open server per
+/// demand.
+///
+/// Not part of the supported API surface; use [`ServerCluster`].
+#[derive(Debug, Clone)]
+pub struct NaiveServerCluster {
+    shape: ServerShape,
+    open: Vec<ResourceVector>,
+    used_total: ResourceVector,
+    unplaceable: usize,
+}
+
+impl NaiveServerCluster {
     /// Creates an empty cluster of the given shape.
     pub fn new(shape: ServerShape) -> Self {
         Self {
@@ -92,8 +365,7 @@ impl ServerCluster {
         }
     }
 
-    /// Packs one demand, opening a new server if necessary. Returns the
-    /// server index, or `None` when the demand exceeds the shape itself.
+    /// Packs one demand — the seed linear scan.
     pub fn place(&mut self, demand: &ResourceVector, algo: PackAlgo) -> Option<usize> {
         if !demand.fits_in(&self.shape.capacity) {
             self.unplaceable += 1;
@@ -121,10 +393,7 @@ impl ServerCluster {
         Some(idx)
     }
 
-    /// Packs one demand like [`ServerCluster::place`], but refuses to
-    /// grow the fleet beyond `max_servers` — the fixed-fleet admission
-    /// model of experiment E4. Returns `None` (without side effects)
-    /// when the demand fits no open server and the fleet is at its cap.
+    /// Bounded placement — the seed full scan.
     pub fn place_bounded(
         &mut self,
         demand: &ResourceVector,
@@ -142,8 +411,7 @@ impl ServerCluster {
         self.place(demand, algo)
     }
 
-    /// Packs a whole workload (sorted decreasing for FFD; as-given for
-    /// best-fit) and reports the outcome.
+    /// Packs a whole workload and reports the outcome.
     pub fn pack_all(&mut self, demands: &[ResourceVector], algo: PackAlgo) -> PackOutcome {
         let mut items: Vec<&ResourceVector> = demands.iter().collect();
         if algo == PackAlgo::FirstFitDecreasing {
@@ -253,6 +521,40 @@ mod tests {
     fn mean_utilization_empty_cluster_zero() {
         let c = ServerCluster::new(ServerShape::standard(0));
         assert_eq!(c.outcome().mean_utilization(), 0.0);
+    }
+
+    #[test]
+    fn indexed_matches_naive_on_mixed_workload() {
+        // A deterministic mixed workload exercising both algorithms;
+        // random traces live in tests/prop_binpack_equiv.rs.
+        let demands: Vec<ResourceVector> = (0..200)
+            .map(|i| demand(1 + (i * 7) % 63, 512 + (i * 131) % 8192))
+            .collect();
+        for algo in [PackAlgo::FirstFitDecreasing, PackAlgo::BestFit] {
+            let mut fast = ServerCluster::new(ServerShape::standard(0));
+            let mut naive = NaiveServerCluster::new(ServerShape::standard(0));
+            for d in &demands {
+                assert_eq!(fast.place(d, algo), naive.place(d, algo));
+            }
+            assert_eq!(fast.outcome(), naive.outcome());
+        }
+    }
+
+    #[test]
+    fn zero_demand_is_placed_like_seed() {
+        let zero = ResourceVector::new();
+        let mut fast = ServerCluster::new(ServerShape::standard(0));
+        let mut naive = NaiveServerCluster::new(ServerShape::standard(0));
+        // First zero demand opens a server in both, the next reuses it.
+        assert_eq!(
+            fast.place(&zero, PackAlgo::BestFit),
+            naive.place(&zero, PackAlgo::BestFit)
+        );
+        assert_eq!(
+            fast.place(&zero, PackAlgo::FirstFitDecreasing),
+            naive.place(&zero, PackAlgo::FirstFitDecreasing)
+        );
+        assert_eq!(fast.outcome(), naive.outcome());
     }
 }
 

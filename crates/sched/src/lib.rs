@@ -26,7 +26,7 @@ pub mod finetune;
 pub mod policy;
 pub mod scheduler;
 
-pub use binpack::{PackAlgo, PackOutcome, ServerCluster, ServerShape};
+pub use binpack::{NaiveServerCluster, PackAlgo, PackOutcome, ServerCluster, ServerShape};
 pub use finetune::{FineTuner, TuneAction, TunerConfig};
 pub use policy::{ExtVmPolicy, LocalityPolicy, PlacementPolicy, PolicyCtx};
 pub use scheduler::{

@@ -137,21 +137,32 @@ impl ResourceVector {
     /// Component-wise saturating addition.
     pub fn saturating_add(&self, other: &Self) -> Self {
         let mut out = self.clone();
-        for (k, v) in other.iter() {
-            let cur = out.get(k);
-            out.set(k, cur.saturating_add(v));
-        }
+        out.saturating_add_assign(other);
         out
+    }
+
+    /// Component-wise saturating addition in place — the allocation-free
+    /// form for accumulation loops.
+    pub fn saturating_add_assign(&mut self, other: &Self) {
+        for (k, v) in other.iter() {
+            let cur = self.get(k);
+            self.set(k, cur.saturating_add(v));
+        }
     }
 
     /// Component-wise saturating subtraction (clamping at zero).
     pub fn saturating_sub(&self, other: &Self) -> Self {
         let mut out = self.clone();
-        for (k, v) in other.iter() {
-            let cur = out.get(k);
-            out.set(k, cur.saturating_sub(v));
-        }
+        out.saturating_sub_assign(other);
         out
+    }
+
+    /// Component-wise saturating subtraction in place (clamping at zero).
+    pub fn saturating_sub_assign(&mut self, other: &Self) {
+        for (k, v) in other.iter() {
+            let cur = self.get(k);
+            self.set(k, cur.saturating_sub(v));
+        }
     }
 
     /// True when `self` fits inside `other` in every dimension.

@@ -234,6 +234,32 @@ impl Telemetry {
         }
     }
 
+    /// Folds everything `other` recorded into this hub: counters add,
+    /// gauges take `other`'s value (high-water marks max), histograms
+    /// merge exactly, spans append with remapped ids, and events are
+    /// re-sequenced in arrival order while keeping their simulated
+    /// timestamps. A no-op when either hub is disabled or both share
+    /// state.
+    ///
+    /// This is how the parallel experiment harness stays deterministic:
+    /// each worker records into a private hub, and the driver absorbs
+    /// them in a fixed order (trial order, not completion order), so
+    /// the merged snapshot is identical at any thread count.
+    pub fn absorb(&self, other: &Telemetry) {
+        let (Some(dst), Some(src)) = (&self.inner, &other.inner) else {
+            return;
+        };
+        if Arc::ptr_eq(dst, src) {
+            return;
+        }
+        let mut d = dst.lock().expect("telemetry poisoned");
+        let s = src.lock().expect("telemetry poisoned");
+        d.ticks = d.ticks.max(s.ticks);
+        d.metrics.merge(&s.metrics);
+        d.spans.absorb(s.spans.records());
+        d.recorder.absorb(&s.recorder);
+    }
+
     /// A consistent copy of everything recorded so far.
     pub fn snapshot(&self) -> Snapshot {
         self.state()
@@ -280,6 +306,81 @@ mod tests {
         tel.gauge_set("depth", l.clone(), 9);
         tel.gauge_set("depth", l.clone(), 2);
         assert_eq!(tel.gauge("depth", &l), Some((2, 9)));
+    }
+
+    #[test]
+    fn absorb_merges_every_pillar() {
+        let hub = Telemetry::enabled();
+        hub.incr("placements", Labels::none(), 2);
+        hub.gauge_set("depth", Labels::none(), 4);
+        hub.observe("latency", Labels::none(), 10);
+        hub.event(EventKind::Placement, Labels::none(), &[]);
+
+        let worker = Telemetry::enabled();
+        worker.set_clock(|| 777);
+        worker.incr("placements", Labels::none(), 3);
+        worker.incr("migrations", Labels::tenant("acme"), 1);
+        worker.gauge_set("depth", Labels::none(), 9);
+        worker.gauge_set("depth", Labels::none(), 1);
+        worker.observe("latency", Labels::none(), 1000);
+        worker.span("trial").exit();
+        worker.event(EventKind::Measurement, Labels::none(), &[]);
+
+        hub.absorb(&worker);
+
+        assert_eq!(hub.counter("placements", &Labels::none()), 5);
+        assert_eq!(hub.counter("migrations", &Labels::tenant("acme")), 1);
+        // Gauge takes the incoming value; high-water folds with max.
+        assert_eq!(hub.gauge("depth", &Labels::none()), Some((1, 9)));
+        let h = hub.histogram("latency", &Labels::none()).unwrap();
+        assert_eq!((h.count, h.min, h.max), (2, 10, 1000));
+
+        let snap = hub.snapshot();
+        assert_eq!(snap.spans.len(), 1);
+        assert_eq!(snap.spans[0].start_us, 777, "span keeps its own clock");
+        assert_eq!(snap.events.len(), 2);
+        // Events re-sequence under the absorbing hub's counter while
+        // keeping their original timestamps.
+        assert_eq!(snap.events[1].seq, 1);
+        assert_eq!(snap.events[1].at_us, 777);
+        assert_eq!(snap.events[1].kind, EventKind::Measurement);
+
+        // Worker is untouched.
+        assert_eq!(worker.counter("placements", &Labels::none()), 3);
+    }
+
+    #[test]
+    fn absorb_is_exact_for_histogram_quantiles() {
+        // Recording split across two hubs then absorbed must summarize
+        // identically to recording everything into one hub.
+        let whole = Telemetry::enabled();
+        let left = Telemetry::enabled();
+        let right = Telemetry::enabled();
+        for v in 1..=1000u64 {
+            whole.observe("lat", Labels::none(), v);
+            let part = if v % 2 == 0 { &left } else { &right };
+            part.observe("lat", Labels::none(), v);
+        }
+        let merged = Telemetry::enabled();
+        merged.absorb(&left);
+        merged.absorb(&right);
+        assert_eq!(
+            merged.histogram("lat", &Labels::none()),
+            whole.histogram("lat", &Labels::none())
+        );
+    }
+
+    #[test]
+    fn absorb_noops_on_disabled_or_shared_hubs() {
+        let hub = Telemetry::enabled();
+        hub.incr("x", Labels::none(), 1);
+        hub.absorb(&Telemetry::disabled());
+        let alias = hub.clone();
+        hub.absorb(&alias); // shared state: must not double or deadlock
+        assert_eq!(hub.counter("x", &Labels::none()), 1);
+        let disabled = Telemetry::disabled();
+        disabled.absorb(&hub);
+        assert!(!disabled.is_enabled());
     }
 
     #[test]

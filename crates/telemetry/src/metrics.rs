@@ -62,6 +62,24 @@ impl MetricsRegistry {
         self.histograms.get(&(name.to_string(), labels.clone()))
     }
 
+    /// Folds another registry into this one: counters add, gauges take
+    /// the incoming value (high-water marks max together), histograms
+    /// merge bucket-wise. Used by [`crate::Telemetry::absorb`] to
+    /// combine per-trial hubs from parallel experiment workers.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, v) in other.counters.iter() {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, g) in other.gauges.iter() {
+            let e = self.gauges.entry(k.clone()).or_insert(*g);
+            e.value = g.value;
+            e.high_water = e.high_water.max(g.high_water);
+        }
+        for (k, h) in other.histograms.iter() {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+    }
+
     pub fn counters(&self) -> impl Iterator<Item = (&Key, &u64)> {
         self.counters.iter()
     }
@@ -132,6 +150,23 @@ impl Histogram {
         self.sum += value as u128;
         self.min = self.min.min(value);
         self.max = self.max.max(value);
+    }
+
+    /// Folds another histogram into this one. Exact: bucket counts and
+    /// sums add, min/max fold, so merged quantile estimates are
+    /// identical to having recorded every observation into one
+    /// histogram in any order.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
     }
 
     /// Number of observations.

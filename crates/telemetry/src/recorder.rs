@@ -166,6 +166,25 @@ impl FlightRecorder {
         self.next_seq += 1;
     }
 
+    /// Appends another recorder's retained events in their original
+    /// order, re-sequencing them under this recorder's counter while
+    /// preserving their simulated timestamps. Drops already suffered by
+    /// `other` carry over, and the ring keeps evicting normally.
+    pub fn absorb(&mut self, other: &FlightRecorder) {
+        for e in other.events.iter() {
+            if self.events.len() == self.capacity {
+                self.events.pop_front();
+                self.dropped += 1;
+            }
+            self.events.push_back(Event {
+                seq: self.next_seq,
+                ..e.clone()
+            });
+            self.next_seq += 1;
+        }
+        self.dropped += other.dropped;
+    }
+
     pub fn events(&self) -> impl Iterator<Item = &Event> {
         self.events.iter()
     }

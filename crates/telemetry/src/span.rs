@@ -55,6 +55,24 @@ impl SpanStore {
         }
     }
 
+    /// Appends another store's records, remapping ids (and parent
+    /// links) past this store's so the combined id space stays unique.
+    /// Absorbed spans keep their timestamps; any still-open ones stay
+    /// open but are never pushed onto this store's open stack, so they
+    /// cannot become parents of future spans.
+    pub fn absorb(&mut self, records: &[SpanRecord]) {
+        let offset = self.records.len() as u32;
+        for r in records {
+            self.records.push(SpanRecord {
+                id: r.id + offset,
+                parent: r.parent.map(|p| p + offset),
+                name: r.name.clone(),
+                start_us: r.start_us,
+                end_us: r.end_us,
+            });
+        }
+    }
+
     pub fn records(&self) -> &[SpanRecord] {
         &self.records
     }

@@ -8,14 +8,87 @@
 //! long enough to time, then a fixed number of measured batches); it
 //! reports median ns/iter and derived throughput, with none of the
 //! statistical machinery of the real crate.
+//!
+//! Two environment knobs support machine consumption in CI:
+//!
+//! - `UDC_BENCH_QUICK` (any value): shrinks the warm-up target and the
+//!   measured batch count so a full bench binary completes in seconds —
+//!   noisier numbers, same code paths;
+//! - `UDC_BENCH_JSON=<path>`: on exit ([`finalize`], called by
+//!   `criterion_main!`), every `(name, ns_per_iter)` pair measured by
+//!   this process is written to `<path>` as a small JSON document for
+//!   downstream threshold checks.
 
 use std::fmt;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
 const WARMUP_TARGET: Duration = Duration::from_millis(10);
 const MEASURE_BATCHES: usize = 7;
+const QUICK_WARMUP_TARGET: Duration = Duration::from_micros(500);
+const QUICK_MEASURE_BATCHES: usize = 3;
+
+/// Every result this process has measured, in execution order.
+static RESULTS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
+
+fn quick_mode() -> bool {
+    std::env::var_os("UDC_BENCH_QUICK").is_some()
+}
+
+fn record(name: &str, ns_per_iter: f64) {
+    RESULTS
+        .lock()
+        .expect("bench sink poisoned")
+        .push((name.to_string(), ns_per_iter));
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the collected results as the bench JSON document.
+fn render_results(results: &[(String, f64)]) -> String {
+    let mut out = String::from("{\n  \"benches\": [\n");
+    for (i, (name, ns)) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"ns_per_iter\": {ns:.3}}}",
+            json_escape(name)
+        ));
+        if i + 1 < results.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes the machine-readable results to `$UDC_BENCH_JSON`, if set.
+/// Called automatically by `criterion_main!` after all groups run.
+pub fn finalize() {
+    let Some(path) = std::env::var_os("UDC_BENCH_JSON") else {
+        return;
+    };
+    let path = std::path::PathBuf::from(path);
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    let results = RESULTS.lock().expect("bench sink poisoned");
+    std::fs::write(&path, render_results(&results))
+        .unwrap_or_else(|e| panic!("writing bench JSON to {}: {e}", path.display()));
+    eprintln!("bench JSON: {}", path.display());
+}
 
 /// Benchmark driver; collects and prints results.
 #[derive(Default)]
@@ -136,6 +209,11 @@ impl Bencher {
     /// runs for at least [`WARMUP_TARGET`], then the median of
     /// [`MEASURE_BATCHES`] timed batches.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let (warmup_target, measure_batches) = if quick_mode() {
+            (QUICK_WARMUP_TARGET, QUICK_MEASURE_BATCHES)
+        } else {
+            (WARMUP_TARGET, MEASURE_BATCHES)
+        };
         let mut batch: u64 = 1;
         loop {
             let start = Instant::now();
@@ -143,12 +221,12 @@ impl Bencher {
                 black_box(routine());
             }
             let elapsed = start.elapsed();
-            if elapsed >= WARMUP_TARGET || batch >= 1 << 24 {
+            if elapsed >= warmup_target || batch >= 1 << 24 {
                 break;
             }
             batch *= 2;
         }
-        let mut samples: Vec<f64> = (0..MEASURE_BATCHES)
+        let mut samples: Vec<f64> = (0..measure_batches)
             .map(|_| {
                 let start = Instant::now();
                 for _ in 0..batch {
@@ -162,6 +240,7 @@ impl Bencher {
     }
 
     fn report(&self, name: &str, throughput: Option<Throughput>) {
+        record(name, self.ns_per_iter);
         let extra = match throughput {
             Some(Throughput::Bytes(n)) if self.ns_per_iter > 0.0 => {
                 let gib = n as f64 / self.ns_per_iter * 1e9 / (1u64 << 30) as f64;
@@ -194,6 +273,31 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::finalize();
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_json_is_well_formed() {
+        let results = vec![
+            ("group/simple".to_string(), 12.3456),
+            ("needs \"escaping\"\\n".to_string(), 0.5),
+        ];
+        let json = render_results(&results);
+        assert!(json.contains("\"name\": \"group/simple\""));
+        assert!(json.contains("\"ns_per_iter\": 12.346"));
+        assert!(json.contains("needs \\\"escaping\\\"\\\\n"));
+        // Exactly one separator comma between the two entries.
+        assert_eq!(json.matches("},\n").count(), 1);
+    }
+
+    #[test]
+    fn empty_results_render_an_empty_list() {
+        assert_eq!(render_results(&[]), "{\n  \"benches\": [\n  ]\n}\n");
+    }
 }
