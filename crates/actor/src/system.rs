@@ -5,7 +5,7 @@ use crate::actor::{Actor, ActorId, Ctx, Message};
 use crate::supervise::SupervisionPolicy;
 use bytes::Bytes;
 use std::collections::{BTreeMap, VecDeque};
-use udc_telemetry::{Labels, Telemetry};
+use udc_telemetry::{Labels, Telemetry, TraceCtx};
 
 /// The reliable message log (§3.1: "messages could be reliably recorded
 /// for faster recovery"). Records every *delivered* message in delivery
@@ -114,13 +114,18 @@ impl System {
 
     /// Enqueues an external message.
     pub fn inject(&mut self, to: impl Into<ActorId>, payload: impl Into<Bytes>) {
-        let to = to.into();
-        self.enqueue(Message {
-            from: None,
-            to,
-            payload: payload.into(),
-            seq: 0,
-        });
+        self.enqueue(Message::external(to, payload));
+    }
+
+    /// Enqueues an external message under an explicit trace context, so
+    /// the whole cascade it triggers joins the caller's trace.
+    pub fn inject_traced(
+        &mut self,
+        to: impl Into<ActorId>,
+        payload: impl Into<Bytes>,
+        ctx: TraceCtx,
+    ) {
+        self.enqueue(Message::external_traced(to, payload, ctx));
     }
 
     fn enqueue(&mut self, msg: Message) {
@@ -171,7 +176,19 @@ impl System {
             self.obs.incr("actor.dead_letters", Labels::none(), 1);
             return;
         };
-        let mut ctx = Ctx::default();
+        // Each traced delivery becomes an `actor.deliver` span parented
+        // on the incoming message's context; outbox messages inherit the
+        // span's context so the cascade forms a connected DAG.
+        let span = if msg.trace.is_some() && self.obs.is_enabled() {
+            Some(self.obs.span_opt(msg.trace.as_ref(), "actor.deliver"))
+        } else {
+            None
+        };
+        let dctx = span.as_ref().and_then(|s| s.ctx()).or(msg.trace);
+        let mut ctx = Ctx {
+            trace: dctx,
+            ..Ctx::default()
+        };
         let result = r.actor.on_message(&mut ctx, &msg);
         match result {
             Ok(()) => {
@@ -185,6 +202,7 @@ impl System {
                         to,
                         payload,
                         seq: 0,
+                        trace: dctx,
                     });
                 }
             }
@@ -526,6 +544,56 @@ mod tests {
         let fresh = &mut Counter::default();
         fresh.restore(&snap);
         assert_eq!(fresh.seen, 3);
+    }
+
+    #[test]
+    fn traced_injection_links_cascade_into_one_trace() {
+        let mut sys = System::new();
+        let obs = Telemetry::enabled();
+        sys.set_observer(obs.clone());
+        sys.spawn(
+            "a",
+            Box::new(Forwarder {
+                next: ActorId::new("b"),
+            }),
+            SupervisionPolicy::Restart,
+        );
+        sys.spawn(
+            "b",
+            Box::new(Counter::default()),
+            SupervisionPolicy::Restart,
+        );
+        let root = obs.trace_root("test.root");
+        let ctx = root.ctx().expect("enabled root span carries a ctx");
+        sys.inject_traced("a", Bytes::from_static(b"x"), ctx);
+        sys.run_until_quiescent(100);
+        drop(root);
+
+        let spans = obs.snapshot().spans;
+        let delivers: Vec<_> = spans.iter().filter(|s| s.name == "actor.deliver").collect();
+        assert_eq!(delivers.len(), 2, "one deliver span per hop");
+        for d in &delivers {
+            assert_eq!(d.trace, Some(ctx.trace_id), "hop joins the root trace");
+            assert!(d.end_us.is_some(), "deliver spans closed");
+        }
+        // The first hop is parented on the root; the second on the first.
+        assert_eq!(delivers[0].parent, Some(ctx.span));
+        assert_eq!(delivers[1].parent, Some(delivers[0].id));
+    }
+
+    #[test]
+    fn untraced_injection_emits_no_spans() {
+        let mut sys = System::new();
+        let obs = Telemetry::enabled();
+        sys.set_observer(obs.clone());
+        sys.spawn(
+            "c",
+            Box::new(Counter::default()),
+            SupervisionPolicy::Restart,
+        );
+        sys.inject("c", Bytes::from_static(b"x"));
+        sys.run_until_quiescent(100);
+        assert!(obs.snapshot().spans.is_empty());
     }
 
     #[test]

@@ -24,6 +24,10 @@ fn main() {
         warm_pool: WarmPoolConfig::uniform(2),
         ..Default::default()
     });
+    // Enabled before submission so the whole deployment — validation,
+    // placement, allocation, launch — lands in one causal trace that
+    // `udc-trace` can reconstruct from the exported artifact.
+    let obs = cloud.enable_telemetry();
     let app = medical_pipeline();
     let mut dep = cloud
         .submit(&app)
@@ -105,4 +109,5 @@ fn main() {
         "Table 1 fulfillment check: S1 replicas=3 sequential, A4 strongest+2x, B2 weak \
          container — all encoded, placed and (where verifiable) attested."
     );
+    udc_bench::report::export("exp_01_medical", &obs);
 }

@@ -80,8 +80,9 @@ fn main() {
         }
     }
 
-    // --- UDC: exact placement, real run ---
+    // --- UDC: exact placement, real run, under full causal tracing ---
     let mut cloud = UdcCloud::new(CloudConfig::default());
+    let obs = cloud.enable_telemetry();
     let mut dep = cloud.submit(&medical_pipeline()).expect("places");
     let report = cloud.run(&dep);
     let udc_hourly = {
@@ -198,4 +199,41 @@ fn main() {
     );
 
     cloud.teardown(&mut dep);
+
+    obs.event(
+        udc_telemetry::EventKind::Measurement,
+        udc_telemetry::Labels::none(),
+        &[
+            (
+                "local_hourly",
+                udc_telemetry::FieldValue::from(local_hourly),
+            ),
+            (
+                "iaas_hourly",
+                udc_telemetry::FieldValue::from(iaas_out.hourly_cost),
+            ),
+            (
+                "caas_hourly",
+                udc_telemetry::FieldValue::from(caas_out.hourly_cost),
+            ),
+            (
+                "faas_cost_per_run",
+                udc_telemetry::FieldValue::from(faas_cost_per_run),
+            ),
+            ("udc_hourly", udc_telemetry::FieldValue::from(udc_hourly)),
+            (
+                "udc_relaxed_hourly",
+                udc_telemetry::FieldValue::from(udc_relaxed_hourly),
+            ),
+            (
+                "iaas_mean_waste",
+                udc_telemetry::FieldValue::from(iaas_out.mean_waste),
+            ),
+            (
+                "faas_unservable",
+                udc_telemetry::FieldValue::from(faas_unservable as u64),
+            ),
+        ],
+    );
+    udc_bench::report::export("exp_02_schemes", &obs);
 }

@@ -18,7 +18,7 @@
 
 use udc_baseline::Catalog;
 use udc_bench::harness::{fan_out, threads_from_args};
-use udc_bench::{banner_stderr, pct, results_path, Table};
+use udc_bench::{banner_stderr, pct, Table};
 use udc_telemetry::{EventKind, FieldValue, Labels, Telemetry};
 use udc_workload::{DemandClass, DemandSampler};
 
@@ -192,12 +192,5 @@ fn main() {
          UDC waste identically 0 by construction."
     );
 
-    let path = results_path("exp_03_waste.json");
-    let written = tel
-        .snapshot()
-        .write_to(&path)
-        .expect("telemetry export writes");
-    eprintln!();
-    eprintln!("Structured telemetry export: {}", written.display());
-    println!("{}", written.display());
+    udc_bench::report::export("exp_03_waste", &tel);
 }

@@ -19,7 +19,7 @@
 //! count.
 
 use udc_bench::harness::{fan_out, threads_from_args};
-use udc_bench::{banner_stderr, pct, results_path, Table};
+use udc_bench::{banner_stderr, pct, Table};
 use udc_hal::pool::AllocConstraints;
 use udc_hal::{Datacenter, DatacenterConfig, FabricConfig, PoolConfig};
 use udc_sched::{PackAlgo, ServerCluster, ServerShape};
@@ -304,12 +304,5 @@ fn main() {
          happens to match the bundle."
     );
 
-    let path = results_path("exp_04_utilization.json");
-    let written = tel
-        .snapshot()
-        .write_to(&path)
-        .expect("telemetry export writes");
-    eprintln!();
-    eprintln!("Structured telemetry export: {}", written.display());
-    println!("{}", written.display());
+    udc_bench::report::export("exp_04_utilization", &tel);
 }

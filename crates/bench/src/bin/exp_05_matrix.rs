@@ -4,6 +4,7 @@
 
 use udc_baseline::{simulate_rollout_report, DevOpsMatrix};
 use udc_bench::{banner, Table};
+use udc_telemetry::{EventKind, FieldValue, Labels, Telemetry};
 
 fn main() {
     banner(
@@ -43,4 +44,31 @@ fn main() {
         DevOpsMatrix::new(200 + 5 * 24, 40 + 5 * 10).matrix_cells(),
         (200 + 5 * 24) + (40 + 5 * 10)
     );
+
+    let tel = Telemetry::enabled();
+    for (year, coupled, decoupled) in &report.by_year {
+        tel.event(
+            EventKind::Measurement,
+            Labels::tenant(format!("year{year}")),
+            &[
+                ("coupled_cells", FieldValue::from(*coupled)),
+                ("decoupled_cells", FieldValue::from(*decoupled)),
+            ],
+        );
+    }
+    tel.event(
+        EventKind::Measurement,
+        Labels::none(),
+        &[
+            (
+                "coupled_ttm_weeks",
+                FieldValue::from(report.coupled_ttm_weeks),
+            ),
+            (
+                "decoupled_ttm_weeks",
+                FieldValue::from(report.decoupled_ttm_weeks),
+            ),
+        ],
+    );
+    udc_bench::report::export("exp_05_matrix", &tel);
 }

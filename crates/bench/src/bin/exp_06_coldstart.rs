@@ -8,6 +8,7 @@
 
 use udc_bench::{banner, fmt_us, pct, Table};
 use udc_isolate::{EnvKind, WarmPool, WarmPoolConfig};
+use udc_telemetry::{EventKind, FieldValue, Labels, Telemetry};
 
 fn main() {
     banner(
@@ -38,6 +39,7 @@ fn main() {
         "warm pool (64)",
         "hit rate (64)",
     ]);
+    let tel = Telemetry::enabled();
     for fanout in [1usize, 4, 16, 64, 256] {
         let cold_total = EnvKind::TeeEnclave.cost_model().cold_start_us * fanout as u64;
         let run_pool = |size: usize| -> (u64, f64) {
@@ -51,6 +53,16 @@ fn main() {
         };
         let (warm8, _) = run_pool(8);
         let (warm64, hit64) = run_pool(64);
+        tel.event(
+            EventKind::Measurement,
+            Labels::tenant(format!("fanout{fanout}")),
+            &[
+                ("all_cold_us", FieldValue::from(cold_total)),
+                ("warm8_us", FieldValue::from(warm8)),
+                ("warm64_us", FieldValue::from(warm64)),
+                ("warm64_hit_rate", FieldValue::from(hit64)),
+            ],
+        );
         t.row(&[
             fanout.to_string(),
             fmt_us(cold_total),
@@ -67,4 +79,5 @@ fn main() {
          by the secure classes (TEE 30x container warm start); a warm pool \
          sized to the fan-out flattens the curve until it drains."
     );
+    udc_bench::report::export("exp_06_coldstart", &tel);
 }

@@ -10,6 +10,7 @@ use udc_bench::{banner, pct, Table};
 use udc_hal::pool::AllocConstraints;
 use udc_hal::{Datacenter, DatacenterConfig, FabricConfig, PoolConfig};
 use udc_spec::{ResourceKind, ResourceVector};
+use udc_telemetry::{EventKind, FieldValue, Labels, Telemetry};
 
 fn cluster() -> Datacenter {
     Datacenter::new(DatacenterConfig {
@@ -31,6 +32,7 @@ fn main() {
          strands the rest of the device",
     );
 
+    let tel = Telemetry::enabled();
     let mut t = Table::new(&[
         "module size (cores)",
         "tenants hosted (shared)",
@@ -67,6 +69,15 @@ fn main() {
         }
         let pool = excl_dc.pool(ResourceKind::Cpu).expect("cpu pool");
         let stranded = 1.0 - pool.total_used() as f64 / pool.total_capacity() as f64;
+        tel.event(
+            EventKind::Measurement,
+            Labels::tenant(format!("cores{size}")),
+            &[
+                ("shared_tenants", FieldValue::from(shared as u64)),
+                ("exclusive_tenants", FieldValue::from(excl as u64)),
+                ("stranded_fraction", FieldValue::from(stranded)),
+            ],
+        );
         t.row(&[
             size.to_string(),
             shared.to_string(),
@@ -84,4 +95,5 @@ fn main() {
          device size. This is why UDC prices exclusivity as the whole device \
          (see udc-core billing) and why the paper calls it out as a challenge."
     );
+    udc_bench::report::export("exp_07_tenancy", &tel);
 }

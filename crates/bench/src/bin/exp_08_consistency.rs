@@ -10,6 +10,7 @@
 use udc_bench::{banner, pct, Table};
 use udc_dist::{Op, OpKind, PreferenceQueue, ReplicatedStore, ReplicationParams};
 use udc_spec::{ConsistencyLevel, OpPreference};
+use udc_telemetry::{EventKind, FieldValue, Labels, Telemetry};
 
 const LEVELS: [ConsistencyLevel; 5] = [
     ConsistencyLevel::Eventual,
@@ -35,10 +36,12 @@ fn main() {
         "stale reads",
         "survives failures",
     ]);
+    let tel = Telemetry::enabled();
     for level in LEVELS {
         for replicas in [1u32, 2, 3] {
             let mut store =
                 ReplicatedStore::new(replicas, level, ReplicationParams::default()).expect("r>=1");
+            store.set_observer(tel.clone());
             // 2 000 ops on one hot key, 30% writes; asynchronous
             // propagation completes every 10 ops.
             for i in 0..2_000u64 {
@@ -53,6 +56,24 @@ fn main() {
                 }
             }
             let s = store.stats();
+            tel.event(
+                EventKind::Measurement,
+                Labels::tenant(format!("{}-r{replicas}", level.name())),
+                &[
+                    (
+                        "mean_write_latency_us",
+                        FieldValue::from(s.mean_write_latency_us()),
+                    ),
+                    (
+                        "mean_read_latency_us",
+                        FieldValue::from(s.mean_read_latency_us()),
+                    ),
+                    (
+                        "stale_read_fraction",
+                        FieldValue::from(s.stale_reads as f64 / s.reads.max(1) as f64),
+                    ),
+                ],
+            );
             t.row(&[
                 level.name().to_string(),
                 replicas.to_string(),
@@ -147,4 +168,5 @@ fn main() {
          causal; reader preference moves reads ahead of writes without \
          starving them (bounded)."
     );
+    udc_bench::report::export("exp_08_consistency", &tel);
 }

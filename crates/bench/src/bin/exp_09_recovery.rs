@@ -10,6 +10,7 @@ use bytes::Bytes;
 use udc_actor::{Actor, ActorError, ActorId, Ctx, Message, SupervisionPolicy, System};
 use udc_bench::{banner, fmt_us, Table};
 use udc_dist::{recover, CheckpointStore, RecoveryStrategy};
+use udc_telemetry::{EventKind, FieldValue, Labels, Telemetry};
 
 /// A stateful accumulator whose per-message work we model as 1 ms.
 #[derive(Default)]
@@ -59,6 +60,7 @@ fn main() {
         "speedup",
     ]);
 
+    let tel = Telemetry::enabled();
     for &n in &[1_000u64, 10_000, 100_000] {
         for &interval in &[100u64, 1_000, 10_000] {
             if interval > n {
@@ -103,6 +105,16 @@ fn main() {
 
             let reexec_us = reexec.replayed as u64 * MSG_COST_US;
             let ckpt_us = ckpt.replayed as u64 * MSG_COST_US + RESTORE_COST_US;
+            tel.event(
+                EventKind::Measurement,
+                Labels::tenant(format!("n{n}-ckpt{interval}")),
+                &[
+                    ("reexec_replayed", FieldValue::from(reexec.replayed as u64)),
+                    ("ckpt_replayed", FieldValue::from(ckpt.replayed as u64)),
+                    ("reexec_us", FieldValue::from(reexec_us)),
+                    ("ckpt_us", FieldValue::from(ckpt_us)),
+                ],
+            );
             t.row(&[
                 format!("{n} (crash at {crash_at})"),
                 interval.to_string(),
@@ -123,4 +135,5 @@ fn main() {
          (checkpoint overhead dominates); long-running ones checkpoint — \
          exactly Table 1's split (A2/A3/A4 checkpoint; A1/B1 re-execute)."
     );
+    udc_bench::report::export("exp_09_recovery", &tel);
 }

@@ -11,6 +11,7 @@
 use udc_bench::{banner, pct, Table};
 use udc_hal::Telemetry;
 use udc_sched::{FineTuner, TuneAction, TunerConfig};
+use udc_telemetry::{EventKind, FieldValue, Labels, Telemetry as Hub};
 
 struct Module {
     name: &'static str,
@@ -51,6 +52,7 @@ fn main() {
     ];
     let mut tuner = FineTuner::new(TunerConfig::default());
     let mut telemetry = Telemetry::new();
+    let hub = Hub::enabled();
 
     let mut t = Table::new(&[
         "round",
@@ -84,6 +86,17 @@ fn main() {
             .iter()
             .filter(|m| m.true_need > m.allocated as f64)
             .count();
+        hub.event(
+            EventKind::Measurement,
+            Labels::tenant(format!("round{round}")),
+            &[
+                ("total_allocated", FieldValue::from(total_alloc)),
+                ("total_needed", FieldValue::from(total_need)),
+                ("overalloc_waste", FieldValue::from(waste)),
+                ("starved_modules", FieldValue::from(starved as u64)),
+                ("actions", FieldValue::from(actions as u64)),
+            ],
+        );
         t.row(&[
             round.to_string(),
             total_alloc.to_string(),
@@ -124,4 +137,5 @@ fn main() {
          band deliberately keeps. Well-specified modules are never touched.",
         tuner.slo_violations, tuner.actions_issued
     );
+    udc_bench::report::export("exp_12_finetune", &hub);
 }

@@ -10,6 +10,7 @@ use udc_bench::{banner, fmt_us, Table};
 use udc_hal::Datacenter;
 use udc_sched::{data_movement, SchedOptions, Scheduler};
 use udc_spec::AppSpec;
+use udc_telemetry::{EventKind, FieldValue, Labels, Telemetry};
 use udc_workload::{medical_pipeline, microservice_chain, ml_serving_chain};
 
 fn place_and_measure(app: &AppSpec, use_hints: bool) -> (u64, u64) {
@@ -37,6 +38,7 @@ fn main() {
         ("microservices x8", microservice_chain(8)),
     ];
 
+    let tel = Telemetry::enabled();
     let mut t = Table::new(&[
         "application",
         "transfer time (hints on)",
@@ -48,6 +50,16 @@ fn main() {
     for (name, app) in &apps {
         let (us_on, xrack_on) = place_and_measure(app, true);
         let (us_off, xrack_off) = place_and_measure(app, false);
+        tel.event(
+            EventKind::Measurement,
+            Labels::tenant(*name),
+            &[
+                ("transfer_us_hints_on", FieldValue::from(us_on)),
+                ("transfer_us_hints_off", FieldValue::from(us_off)),
+                ("xrack_bytes_on", FieldValue::from(xrack_on)),
+                ("xrack_bytes_off", FieldValue::from(xrack_off)),
+            ],
+        );
         t.row(&[
             name.to_string(),
             fmt_us(us_on),
@@ -66,4 +78,5 @@ fn main() {
          record store dominates). Placement without hints still works — \
          hints are advisory, exactly as §3.1 describes."
     );
+    udc_bench::report::export("exp_13_locality", &tel);
 }

@@ -10,6 +10,7 @@
 use udc_baseline::IaasProvisioner;
 use udc_bench::{banner, pct, Table};
 use udc_spec::ResourceVector;
+use udc_telemetry::{EventKind, FieldValue, Labels, Telemetry};
 use udc_workload::DemandSampler;
 
 fn main() {
@@ -54,6 +55,7 @@ fn main() {
     let udc_provisioned = 1.0 / 0.8;
     let iaas_profit = iaas_hourly - hw_cost_fraction * udc_base_hourly * iaas_provisioned;
 
+    let tel = Telemetry::enabled();
     let mut t = Table::new(&[
         "price multiplier",
         "user bill (UDC)",
@@ -69,6 +71,17 @@ fn main() {
         let udc_profit = udc_hourly - hw_cost_fraction * udc_base_hourly * udc_provisioned;
         let profit_ratio = udc_profit / iaas_profit;
         let win_win = saving > 0.0 && profit_ratio >= 1.0;
+        tel.event(
+            EventKind::Measurement,
+            Labels::tenant(format!("mult{mult10}")),
+            &[
+                ("udc_hourly", FieldValue::from(udc_hourly)),
+                ("iaas_hourly", FieldValue::from(iaas_hourly)),
+                ("user_saving", FieldValue::from(saving)),
+                ("profit_ratio", FieldValue::from(profit_ratio)),
+                ("win_win", FieldValue::from(win_win)),
+            ],
+        );
         t.row(&[
             format!("{mult:.1}x"),
             format!("${:.0}/h", udc_hourly / 1e6),
@@ -89,4 +102,5 @@ fn main() {
          profit matches or beats IaaS — the paper's adoption argument.",
         pct(iaas_out.mean_waste)
     );
+    udc_bench::report::export("exp_15_economics", &tel);
 }

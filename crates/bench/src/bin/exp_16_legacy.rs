@@ -10,6 +10,7 @@ use udc_bench::{banner, fmt_cost, fmt_us, pct, Table};
 use udc_core::{BillingModel, CloudConfig, UdcCloud};
 use udc_legacy::{etl_ml_monolith_program, partition, to_app_spec, Hint, PartitionConfig};
 use udc_spec::prelude::*;
+use udc_telemetry::{EventKind, FieldValue, Labels, Telemetry};
 
 const HOUR_US: u64 = 3_600_000_000;
 
@@ -97,6 +98,22 @@ fn main() {
     let (mono_span, mono_cost, mono_hourly) = run(&monolith_app());
     let (part_span, part_cost, part_hourly) = run(&partitioned);
 
+    let tel = Telemetry::enabled();
+    tel.event(
+        EventKind::Measurement,
+        Labels::tenant("etl-ml"),
+        &[
+            ("modules", FieldValue::from(part.segments as u64)),
+            ("cut_bytes", FieldValue::from(part.cut_bytes)),
+            ("mono_makespan_us", FieldValue::from(mono_span)),
+            ("part_makespan_us", FieldValue::from(part_span)),
+            ("mono_run_cost", FieldValue::from(mono_cost)),
+            ("part_run_cost", FieldValue::from(part_cost)),
+            ("mono_hourly", FieldValue::from(mono_hourly)),
+            ("part_hourly", FieldValue::from(part_hourly)),
+        ],
+    );
+
     println!();
     let mut t = Table::new(&[
         "deployment",
@@ -140,4 +157,5 @@ fn main() {
          monolith's whole-run GPU reservation is mostly idle capacity.",
         gpu_work * 100 / total_work
     );
+    udc_bench::report::export("exp_16_legacy", &tel);
 }

@@ -12,6 +12,7 @@ use udc_baseline::FaasRuntime;
 use udc_bench::{banner, fmt_us, Table};
 use udc_isolate::{EnvKind, WarmPool, WarmPoolConfig};
 use udc_spec::{ResourceKind, ResourceVector};
+use udc_telemetry::{EventKind, FieldValue, Labels, Telemetry};
 use udc_workload::{bursty_arrivals, poisson_arrivals};
 
 const WORK_UNITS: u64 = 2_000; // One inference.
@@ -92,6 +93,7 @@ fn main() {
          real GPUs with warm-pooled fine-grained modules",
     );
 
+    let tel = Telemetry::enabled();
     let mut t = Table::new(&[
         "stream",
         "scheme",
@@ -111,6 +113,23 @@ fn main() {
         let (faas_lat, faas_cost) = serve_faas(arrivals);
         let (udc_cold_lat, udc_cold_cost) = serve_udc(arrivals, 0);
         let (udc_lat, udc_cost) = serve_udc(arrivals, 4);
+        tel.event(
+            EventKind::Measurement,
+            Labels::tenant(*name),
+            &[
+                ("faas_p50_us", FieldValue::from(percentile(&faas_lat, 0.5))),
+                ("faas_p99_us", FieldValue::from(percentile(&faas_lat, 0.99))),
+                ("faas_cost_per_1k", FieldValue::from(faas_cost)),
+                (
+                    "udc_cold_p99_us",
+                    FieldValue::from(percentile(&udc_cold_lat, 0.99)),
+                ),
+                ("udc_cold_cost_per_1k", FieldValue::from(udc_cold_cost)),
+                ("udc_p50_us", FieldValue::from(percentile(&udc_lat, 0.5))),
+                ("udc_p99_us", FieldValue::from(percentile(&udc_lat, 0.99))),
+                ("udc_cost_per_1k", FieldValue::from(udc_cost)),
+            ],
+        );
         t.row(&[
             name.to_string(),
             "FaaS (CPU degraded)".to_string(),
@@ -144,4 +163,5 @@ fn main() {
          serverless does not offer.",
         fmt_us((WORK_UNITS as f64 / GPU_RATE * 1e6) as u64)
     );
+    udc_bench::report::export("exp_17_serving", &tel);
 }

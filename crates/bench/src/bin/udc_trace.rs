@@ -1,0 +1,442 @@
+//! `udc-trace` — reconstructs causal traces from an exported telemetry
+//! artifact and explains placement decisions.
+//!
+//! ```text
+//! udc-trace results/exp_01_medical.json                # trace summary
+//! udc-trace results/exp_01_medical.json --explain s1   # decision audit
+//! udc-trace results/exp_01_medical.json --chrome t.json # chrome://tracing
+//! ```
+//!
+//! The tool validates the artifact as it reads it and exits non-zero on:
+//! schema violations (missing/mistyped span fields), orphan spans
+//! (parent id absent from the artifact), spans whose parent lives in a
+//! different trace, unclosed spans, and broken critical paths (a child
+//! interval escaping its parent's interval). CI runs it over the
+//! exp_01 artifact so a regression in trace propagation fails the build.
+//!
+//! Per-trace output: the span DAG grouped by phase (validate / place /
+//! allocate / launch / actor / dist), the critical path from the root to
+//! the latest-ending leaf chain, and a per-phase self-time breakdown
+//! (each span's duration minus its children's, so phases sum to the
+//! root's wall time instead of double-counting nested spans).
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use udc_bench::{fmt_us, Table};
+
+/// One span as read back from the artifact.
+#[derive(Debug, Clone)]
+struct SpanRow {
+    id: u64,
+    parent: Option<u64>,
+    trace: Option<u64>,
+    name: String,
+    start_us: u64,
+    end_us: Option<u64>,
+}
+
+impl SpanRow {
+    fn duration_us(&self) -> u64 {
+        self.end_us.unwrap_or(self.start_us) - self.start_us
+    }
+}
+
+/// One decision record as read back from the artifact.
+#[derive(Debug, Clone)]
+struct DecisionRow {
+    trace: Option<u64>,
+    stage: String,
+    module: String,
+    candidate: String,
+    accepted: bool,
+    reason: String,
+    score: Option<i64>,
+    detail: String,
+}
+
+/// The latency phases a control-plane span belongs to.
+const PHASES: &[(&str, &str)] = &[
+    ("validate", "spec."),
+    ("place", "sched."),
+    ("allocate", "hal."),
+    ("launch", "isolate."),
+    ("actor", "actor."),
+    ("dist", "dist."),
+];
+
+fn phase_of(name: &str) -> &'static str {
+    for (phase, prefix) in PHASES {
+        if name.starts_with(prefix) {
+            return phase;
+        }
+    }
+    "other"
+}
+
+fn get_u64(v: &serde_json::Value, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(|x| x.as_u64())
+        .ok_or_else(|| format!("missing or non-integer `{key}`"))
+}
+
+fn get_str(v: &serde_json::Value, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(|x| x.as_str())
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing or non-string `{key}`"))
+}
+
+/// `key` must be present and either null or a u64.
+fn get_opt_u64(v: &serde_json::Value, key: &str) -> Result<Option<u64>, String> {
+    match v.get(key) {
+        None => Err(format!("missing `{key}`")),
+        Some(serde_json::Value::Null) => Ok(None),
+        Some(x) => x
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| format!("non-integer `{key}`")),
+    }
+}
+
+fn parse_spans(root: &serde_json::Value) -> Result<Vec<SpanRow>, String> {
+    let spans = root
+        .get("spans")
+        .and_then(|s| s.as_array())
+        .ok_or("artifact has no `spans` array")?;
+    let mut out = Vec::with_capacity(spans.len());
+    for (i, s) in spans.iter().enumerate() {
+        let row = (|| -> Result<SpanRow, String> {
+            Ok(SpanRow {
+                id: get_u64(s, "id")?,
+                parent: get_opt_u64(s, "parent")?,
+                trace: get_opt_u64(s, "trace")?,
+                name: get_str(s, "name")?,
+                start_us: get_u64(s, "start_us")?,
+                end_us: get_opt_u64(s, "end_us")?,
+            })
+        })()
+        .map_err(|e| format!("span #{i}: {e}"))?;
+        out.push(row);
+    }
+    Ok(out)
+}
+
+fn parse_decisions(root: &serde_json::Value) -> Result<Vec<DecisionRow>, String> {
+    let ds = root
+        .get("decisions")
+        .and_then(|s| s.as_array())
+        .ok_or("artifact has no `decisions` array")?;
+    let mut out = Vec::with_capacity(ds.len());
+    for (i, d) in ds.iter().enumerate() {
+        let row = (|| -> Result<DecisionRow, String> {
+            Ok(DecisionRow {
+                trace: get_opt_u64(d, "trace")?,
+                stage: get_str(d, "stage")?,
+                module: get_str(d, "module")?,
+                candidate: get_str(d, "candidate")?,
+                accepted: d
+                    .get("accepted")
+                    .and_then(|x| x.as_bool())
+                    .ok_or("missing or non-bool `accepted`")?,
+                reason: get_str(d, "reason")?,
+                score: d.get("score").and_then(|x| x.as_i64()),
+                detail: get_str(d, "detail")?,
+            })
+        })()
+        .map_err(|e| format!("decision #{i}: {e}"))?;
+        out.push(row);
+    }
+    Ok(out)
+}
+
+/// Structural validation: every violation is one human-readable line.
+fn validate(spans: &[SpanRow]) -> Vec<String> {
+    let mut violations = Vec::new();
+    let by_id: BTreeMap<u64, &SpanRow> = spans.iter().map(|s| (s.id, s)).collect();
+    if by_id.len() != spans.len() {
+        violations.push("duplicate span ids".to_string());
+    }
+    for s in spans {
+        if s.end_us.is_none() {
+            violations.push(format!("span {} `{}` never closed", s.id, s.name));
+        }
+        if let Some(end) = s.end_us {
+            if end < s.start_us {
+                violations.push(format!("span {} `{}` ends before it starts", s.id, s.name));
+            }
+        }
+        let Some(pid) = s.parent else { continue };
+        let Some(p) = by_id.get(&pid) else {
+            violations.push(format!(
+                "orphan span {} `{}`: parent {} not in artifact",
+                s.id, s.name, pid
+            ));
+            continue;
+        };
+        if s.trace.is_some() && p.trace != s.trace {
+            violations.push(format!(
+                "span {} `{}` is in trace {:?} but its parent {} is in {:?}",
+                s.id, s.name, s.trace, pid, p.trace
+            ));
+        }
+        // Single simulated clock: a child must run inside its parent.
+        if s.start_us < p.start_us || matches!((s.end_us, p.end_us), (Some(c), Some(pe)) if c > pe)
+        {
+            violations.push(format!(
+                "broken critical path: span {} `{}` [{}, {:?}] escapes parent {} [{}, {:?}]",
+                s.id, s.name, s.start_us, s.end_us, pid, p.start_us, p.end_us
+            ));
+        }
+    }
+    violations
+}
+
+/// The chain from `root` to the latest-ending descendant: at each level
+/// descend into the child whose end time is greatest. Ties go to the
+/// highest id — spans are created in program order, so under an idle
+/// simulated clock the path still follows the last chain to finish.
+fn critical_path<'a>(
+    root: &'a SpanRow,
+    children: &BTreeMap<u64, Vec<&'a SpanRow>>,
+) -> Vec<&'a SpanRow> {
+    let mut path = vec![root];
+    let mut cur = root;
+    while let Some(kids) = children.get(&cur.id) {
+        let Some(next) = kids
+            .iter()
+            .copied()
+            .max_by_key(|k| (k.end_us.unwrap_or(k.start_us), k.id))
+        else {
+            break;
+        };
+        path.push(next);
+        cur = next;
+    }
+    path
+}
+
+/// Per-phase self time under `root`: each span contributes its duration
+/// minus its children's durations, so the phases sum to the root's wall
+/// time even with deeply nested spans.
+fn phase_breakdown(
+    root: &SpanRow,
+    spans: &[SpanRow],
+    children: &BTreeMap<u64, Vec<&SpanRow>>,
+) -> BTreeMap<&'static str, u64> {
+    let mut out = BTreeMap::new();
+    let mut stack = vec![root.id];
+    let by_id: BTreeMap<u64, &SpanRow> = spans.iter().map(|s| (s.id, s)).collect();
+    while let Some(id) = stack.pop() {
+        let s = by_id[&id];
+        let child_total: u64 = children
+            .get(&id)
+            .map(|kids| kids.iter().map(|k| k.duration_us()).sum())
+            .unwrap_or(0);
+        let self_us = s.duration_us().saturating_sub(child_total);
+        *out.entry(phase_of(&s.name)).or_insert(0) += self_us;
+        if let Some(kids) = children.get(&id) {
+            stack.extend(kids.iter().map(|k| k.id));
+        }
+    }
+    out
+}
+
+fn print_trace_report(spans: &[SpanRow], decisions: &[DecisionRow]) {
+    let traced: Vec<&SpanRow> = spans.iter().filter(|s| s.trace.is_some()).collect();
+    let mut traces: BTreeMap<u64, Vec<&SpanRow>> = BTreeMap::new();
+    for s in &traced {
+        traces.entry(s.trace.unwrap()).or_default().push(s);
+    }
+    println!(
+        "{} spans ({} traced, {} traces), {} decisions",
+        spans.len(),
+        traced.len(),
+        traces.len(),
+        decisions.len()
+    );
+    println!();
+
+    let mut t = Table::new(&[
+        "trace",
+        "root",
+        "spans",
+        "wall",
+        "validate",
+        "place",
+        "allocate",
+        "launch",
+        "critical path",
+    ]);
+    for (tid, members) in &traces {
+        let mut children: BTreeMap<u64, Vec<&SpanRow>> = BTreeMap::new();
+        let mut roots = Vec::new();
+        for s in members {
+            match s.parent {
+                Some(p) if members.iter().any(|m| m.id == p) => {
+                    children.entry(p).or_default().push(s)
+                }
+                _ => roots.push(*s),
+            }
+        }
+        for root in roots {
+            let phases = phase_breakdown(root, spans, &children);
+            let path = critical_path(root, &children);
+            let path_str = path
+                .iter()
+                .map(|s| s.name.as_str())
+                .collect::<Vec<_>>()
+                .join(" > ");
+            let ph = |k: &str| fmt_us(phases.get(k).copied().unwrap_or(0));
+            t.row(&[
+                tid.to_string(),
+                root.name.clone(),
+                members.len().to_string(),
+                fmt_us(root.duration_us()),
+                ph("validate"),
+                ph("place"),
+                ph("allocate"),
+                ph("launch"),
+                path_str,
+            ]);
+        }
+    }
+    t.print();
+
+    let rejected = decisions.iter().filter(|d| !d.accepted).count();
+    println!();
+    println!(
+        "decision audit: {} records, {} rejections ({} stages)",
+        decisions.len(),
+        rejected,
+        decisions
+            .iter()
+            .map(|d| d.stage.as_str())
+            .collect::<std::collections::BTreeSet<_>>()
+            .len()
+    );
+}
+
+fn explain(decisions: &[DecisionRow], module: &str) -> bool {
+    let picked: Vec<&DecisionRow> = decisions.iter().filter(|d| d.module == module).collect();
+    if picked.is_empty() {
+        println!("no decisions recorded for module `{module}`");
+        return false;
+    }
+    println!();
+    println!("placement audit for `{module}`:");
+    let mut t = Table::new(&[
+        "trace",
+        "stage",
+        "candidate",
+        "verdict",
+        "reason",
+        "score",
+        "detail",
+    ]);
+    for d in &picked {
+        t.row(&[
+            d.trace.map(|t| t.to_string()).unwrap_or_else(|| "-".into()),
+            d.stage.clone(),
+            d.candidate.clone(),
+            if d.accepted { "accepted" } else { "rejected" }.to_string(),
+            d.reason.clone(),
+            d.score.map(|s| s.to_string()).unwrap_or_else(|| "-".into()),
+            d.detail.clone(),
+        ]);
+    }
+    t.print();
+    true
+}
+
+/// Renders spans as a Chrome `trace_event` JSON document
+/// (chrome://tracing, Perfetto). Complete events (`ph: "X"`); one pid
+/// per trace id, untraced spans under pid 0.
+fn chrome_json(spans: &[SpanRow]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{},\"tid\":0,\"args\":{{\"span\":{},\"parent\":{}}}}}",
+            s.name,
+            phase_of(&s.name),
+            s.start_us,
+            s.duration_us(),
+            s.trace.map(|t| t + 1).unwrap_or(0),
+            s.id,
+            s.parent.map(|p| p.to_string()).unwrap_or_else(|| "null".into()),
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut artifact = None;
+    let mut explain_module = None;
+    let mut chrome_out = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--explain" => explain_module = Some(it.next().ok_or("--explain needs a module name")?),
+            "--chrome" => chrome_out = Some(it.next().ok_or("--chrome needs an output path")?),
+            "--help" | "-h" => {
+                println!(
+                    "usage: udc-trace <artifact.json> [--explain <module>] [--chrome <out.json>]"
+                );
+                return Ok(ExitCode::SUCCESS);
+            }
+            _ if artifact.is_none() => artifact = Some(a),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let artifact = artifact.ok_or("usage: udc-trace <artifact.json> [--explain <module>]")?;
+    let text =
+        std::fs::read_to_string(&artifact).map_err(|e| format!("reading {artifact}: {e}"))?;
+    let root: serde_json::Value =
+        serde_json::from_str(&text).map_err(|e| format!("parsing {artifact}: {e}"))?;
+
+    let spans = parse_spans(&root)?;
+    let decisions = parse_decisions(&root)?;
+
+    println!("== udc-trace: {artifact} ==");
+    let violations = validate(&spans);
+    print_trace_report(&spans, &decisions);
+    let mut failed = false;
+    if let Some(module) = explain_module {
+        // An explain run over a module with no audit trail is a failure:
+        // the whole point is that every placement is explainable.
+        failed |= !explain(&decisions, &module);
+    }
+    if let Some(out) = chrome_out {
+        std::fs::write(&out, chrome_json(&spans)).map_err(|e| format!("writing {out}: {e}"))?;
+        println!();
+        println!("chrome trace written: {out} (load in chrome://tracing or Perfetto)");
+    }
+    if !violations.is_empty() {
+        println!();
+        println!("VIOLATIONS ({}):", violations.len());
+        for v in &violations {
+            println!("  - {v}");
+        }
+        failed = true;
+    }
+    Ok(if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("udc-trace: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

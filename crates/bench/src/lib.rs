@@ -16,6 +16,7 @@
 //! experiment prints uniform, paper-style tables.
 
 pub mod harness;
+pub mod report;
 
 use std::fmt::Display;
 

@@ -1,0 +1,24 @@
+//! Shared telemetry-export plumbing for experiment binaries.
+//!
+//! Every experiment ends with the same ritual: snapshot the hub, write
+//! `results/<name>.json`, tell the human on stderr and the machine on
+//! stdout. This module is that ritual, so all 17 binaries produce
+//! uniform artifacts that `udc-trace` and CI can consume.
+
+use std::path::PathBuf;
+use udc_telemetry::Telemetry;
+
+/// Writes the hub's full snapshot to `results/<name>.json` at the
+/// workspace root. The artifact path goes to stderr as a human-readable
+/// note and to stdout bare, so harnesses can capture it with `$(...)`.
+pub fn export(name: &str, tel: &Telemetry) -> PathBuf {
+    let path = crate::results_path(&format!("{name}.json"));
+    let written = tel
+        .snapshot()
+        .write_to(&path)
+        .expect("telemetry export writes");
+    eprintln!();
+    eprintln!("Structured telemetry export: {}", written.display());
+    println!("{}", written.display());
+    written
+}

@@ -227,9 +227,19 @@ impl UdcCloud {
     /// Submits an application: compile to IR, place, start environments,
     /// derive data keys, build bundles.
     pub fn submit(&mut self, app: &AppSpec) -> Result<Deployment, CloudError> {
-        let _span = self.obs.span("cloud.submit");
-        let ir = AppIr::compile(app, self.conflict_policy)?;
-        let placement = self.scheduler.place_app(&mut self.dc, &ir.app)?;
+        // Every submit mints one causal trace; the context threads
+        // explicitly through validation, placement, allocation, and
+        // launch so the whole deployment reconstructs as a single span
+        // DAG (core → sched → hal → isolate).
+        let span = self.obs.trace_root("cloud.submit");
+        let ctx = span.ctx();
+        let ir = {
+            let _validate = self.obs.span_opt(ctx.as_ref(), "spec.validate");
+            AppIr::compile(app, self.conflict_policy)?
+        };
+        let placement = self
+            .scheduler
+            .place_app_traced(&mut self.dc, &ir.app, ctx)?;
         self.obs
             .incr("core.submits", Labels::tenant(self.tenant.as_str()), 1);
         self.obs.event(
@@ -259,7 +269,10 @@ impl UdcCloud {
             let mut env = Environment::new(InstanceId(self.next_instance), p.env, device_key);
             self.next_instance += 1;
             let identity = format!("{}@{}", id, m.identity_hex());
-            env.start(p.start_mode == StartMode::Warm, &identity);
+            {
+                let _launch = self.obs.span_opt(ctx.as_ref(), "isolate.launch");
+                env.start(p.start_mode == StartMode::Warm, &identity);
+            }
             environments.insert(id.clone(), env);
 
             if m.spec.kind == ModuleKind::Data {

@@ -1,0 +1,101 @@
+//! Acceptance test for causal tracing: a single `Cloud::submit` of the
+//! paper's medical pipeline must reconstruct as ONE connected span DAG
+//! crossing every control-plane layer (core → sched → hal → isolate),
+//! with zero orphans and a non-empty decision audit that explains at
+//! least one rejected candidate.
+
+use std::collections::{BTreeMap, BTreeSet};
+use udc_core::{CloudConfig, UdcCloud};
+use udc_workload::medical_pipeline;
+
+#[test]
+fn single_submit_yields_one_connected_span_dag_across_layers() {
+    let mut cloud = UdcCloud::new(CloudConfig::default());
+    let tel = cloud.enable_telemetry();
+    let dep = cloud.submit(&medical_pipeline()).expect("placement fits");
+    assert!(!dep.placement.modules.is_empty());
+
+    let snap = tel.snapshot();
+
+    // Exactly one trace was minted, rooted at cloud.submit.
+    let traces: BTreeSet<u64> = snap.spans.iter().filter_map(|s| s.trace).collect();
+    assert_eq!(traces.len(), 1, "submit must mint exactly one trace");
+    let trace = *traces.iter().next().unwrap();
+
+    let in_trace: Vec<_> = snap
+        .spans
+        .iter()
+        .filter(|s| s.trace == Some(trace))
+        .collect();
+    let roots: Vec<_> = in_trace.iter().filter(|s| s.parent.is_none()).collect();
+    assert_eq!(roots.len(), 1, "one root span per trace");
+    assert_eq!(roots[0].name, "cloud.submit");
+
+    // Zero orphans: every parent pointer resolves to a span in the same
+    // trace, and every span is reachable from the root.
+    let by_id: BTreeMap<u32, &udc_telemetry::SpanRecord> =
+        in_trace.iter().map(|s| (s.id, *s)).collect();
+    for s in &in_trace {
+        if let Some(p) = s.parent {
+            let parent = by_id
+                .get(&p)
+                .unwrap_or_else(|| panic!("span {} ({}) has orphan parent {p}", s.id, s.name));
+            assert_eq!(parent.trace, Some(trace), "parent crosses traces");
+        }
+    }
+    let mut reachable: BTreeSet<u32> = BTreeSet::new();
+    reachable.insert(roots[0].id);
+    let mut grew = true;
+    while grew {
+        grew = false;
+        for s in &in_trace {
+            if !reachable.contains(&s.id)
+                && s.parent.map(|p| reachable.contains(&p)).unwrap_or(false)
+            {
+                reachable.insert(s.id);
+                grew = true;
+            }
+        }
+    }
+    assert_eq!(
+        reachable.len(),
+        in_trace.len(),
+        "disconnected spans in trace"
+    );
+
+    // The DAG crosses every control-plane layer.
+    let names: BTreeSet<&str> = in_trace.iter().map(|s| s.name.as_str()).collect();
+    for required in [
+        "cloud.submit",
+        "spec.validate",
+        "sched.place",
+        "sched.place_module",
+        "hal.pool.allocate",
+        "isolate.acquire",
+        "isolate.launch",
+    ] {
+        assert!(names.contains(required), "missing span {required}");
+    }
+
+    // All spans closed (RAII guards fired on every path).
+    assert!(
+        in_trace.iter().all(|s| s.end_us.is_some()),
+        "unclosed span in trace"
+    );
+
+    // The decision audit explains the placement: records exist, they
+    // carry the submit trace, and at least one losing candidate has a
+    // non-empty machine-readable reason.
+    assert!(!snap.decisions.is_empty(), "no decision records");
+    assert!(snap
+        .decisions
+        .iter()
+        .all(|d| d.trace == Some(trace) || d.trace.is_none()));
+    let reject = snap
+        .decisions
+        .iter()
+        .find(|d| !d.accepted)
+        .expect("at least one rejected candidate");
+    assert!(!reject.reason.as_str().is_empty());
+    assert!(!reject.candidate.is_empty());
+}

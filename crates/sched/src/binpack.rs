@@ -181,25 +181,31 @@ impl MaxSegTree {
     }
 
     /// Lowest leaf whose free vector hosts `demand` in every dimension —
-    /// the `iter().position(|free| demand.fits_in(free))` answer.
-    fn leftmost_fit(&self, demand: &ResourceVector) -> Option<usize> {
+    /// the `iter().position(|free| demand.fits_in(free))` answer — plus
+    /// the number of subtrees pruned: nodes whose per-dimension maximum
+    /// could not host the demand, so their whole leaf range was skipped
+    /// without evaluation. The count feeds the
+    /// `sched.binpack.seg_prunes` audit counter.
+    fn leftmost_fit_counted(&self, demand: &ResourceVector) -> (Option<usize>, u64) {
         if self.len == 0 {
-            return None;
+            return (None, 0);
         }
         let d = self.d();
         let need: Vec<u64> = self.dims.iter().map(|&k| demand.get(k)).collect();
         let hosts = |n: usize| (0..d).all(|j| self.node[n * d + j] >= need[j]);
+        let mut prunes = 0u64;
         // DFS preferring the left child: pushed right-then-left so leaves
         // are visited in index order; the first hosting leaf wins.
         let mut stack = vec![1usize];
         while let Some(n) = stack.pop() {
             if !hosts(n) {
+                prunes += 1;
                 continue;
             }
             if n >= self.cap {
                 let idx = n - self.cap;
                 if idx < self.len {
-                    return Some(idx);
+                    return (Some(idx), prunes);
                 }
                 // An unused all-zero leaf can only host an all-zero
                 // demand; keep looking (there is nothing to its right).
@@ -208,7 +214,7 @@ impl MaxSegTree {
             stack.push(2 * n + 1);
             stack.push(2 * n);
         }
-        None
+        (None, prunes)
     }
 }
 
@@ -227,6 +233,10 @@ pub struct ServerCluster {
     max_tree: MaxSegTree,
     used_total: ResourceVector,
     unplaceable: usize,
+    /// Cumulative subtrees pruned by the segment-tree probe.
+    probe_prunes: u64,
+    /// Observability hub (disabled no-op by default).
+    obs: udc_telemetry::Telemetry,
 }
 
 impl ServerCluster {
@@ -240,7 +250,23 @@ impl ServerCluster {
             max_tree: MaxSegTree::new(dims),
             used_total: ResourceVector::new(),
             unplaceable: 0,
+            probe_prunes: 0,
+            obs: udc_telemetry::Telemetry::disabled(),
         }
+    }
+
+    /// Installs the observability hub: each [`ServerCluster::pack_all`]
+    /// reports its segment-tree prune count to the
+    /// `sched.binpack.seg_prunes` counter and logs one audit decision
+    /// record summarizing the pass.
+    pub fn set_observer(&mut self, obs: udc_telemetry::Telemetry) {
+        self.obs = obs;
+    }
+
+    /// Subtrees the segment-tree probe has pruned so far (candidates
+    /// skipped without per-server evaluation).
+    pub fn probe_prunes(&self) -> u64 {
+        self.probe_prunes
     }
 
     /// Packs one demand, opening a new server if necessary. Returns the
@@ -251,7 +277,11 @@ impl ServerCluster {
             return None;
         }
         let chosen = match algo {
-            PackAlgo::FirstFitDecreasing => self.max_tree.leftmost_fit(demand),
+            PackAlgo::FirstFitDecreasing => {
+                let (hit, prunes) = self.max_tree.leftmost_fit_counted(demand);
+                self.probe_prunes += prunes;
+                hit
+            }
             PackAlgo::BestFit => {
                 // Every fitting server satisfies scalar(free) ≥
                 // scalar(demand) and leaves scalar(free) − scalar(demand)
@@ -296,8 +326,9 @@ impl ServerCluster {
             self.unplaceable += 1;
             return None;
         }
-        let fits_open = self.max_tree.leftmost_fit(demand).is_some();
-        if !fits_open && self.open.len() >= max_servers {
+        let (fit, prunes) = self.max_tree.leftmost_fit_counted(demand);
+        self.probe_prunes += prunes;
+        if fit.is_none() && self.open.len() >= max_servers {
             return None;
         }
         self.place(demand, algo)
@@ -306,6 +337,7 @@ impl ServerCluster {
     /// Packs a whole workload (sorted decreasing for FFD; as-given for
     /// best-fit) and reports the outcome.
     pub fn pack_all(&mut self, demands: &[ResourceVector], algo: PackAlgo) -> PackOutcome {
+        let prunes_before = self.probe_prunes;
         let mut items: Vec<(u64, &ResourceVector)> =
             demands.iter().map(|d| (d.scalar_size(), d)).collect();
         if algo == PackAlgo::FirstFitDecreasing {
@@ -315,6 +347,28 @@ impl ServerCluster {
         }
         for (_, d) in items {
             self.place(d, algo);
+        }
+        if self.obs.is_enabled() {
+            let prunes = self.probe_prunes - prunes_before;
+            self.obs.incr(
+                "sched.binpack.seg_prunes",
+                udc_telemetry::Labels::none(),
+                prunes,
+            );
+            self.obs.decide(udc_telemetry::Decision {
+                ctx: None,
+                stage: "sched.binpack",
+                module: "-",
+                candidate: "-",
+                accepted: true,
+                reason: udc_telemetry::ReasonCode::Prune,
+                score: None,
+                detail: format!(
+                    "pruned={prunes} demands={} servers={}",
+                    demands.len(),
+                    self.open.len()
+                ),
+            });
         }
         self.outcome()
     }

@@ -10,7 +10,7 @@ use udc_isolate::{select_env, EnvironmentPlan, WarmPool, WarmPoolConfig};
 use udc_spec::{
     AppSpec, ConflictPolicy, Goal, ModuleId, ModuleKind, ResourceKind, ResourceVector, SpecError,
 };
-use udc_telemetry::{EventKind, FieldValue, Labels, Telemetry};
+use udc_telemetry::{Decision, EventKind, FieldValue, Labels, ReasonCode, Telemetry, TraceCtx};
 
 /// How a module's environment was started.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -294,7 +294,21 @@ impl Scheduler {
         dc: &mut Datacenter,
         app: &AppSpec,
     ) -> Result<AppPlacement, SchedError> {
-        let _span = self.obs.span("sched.place");
+        self.place_app_traced(dc, app, None)
+    }
+
+    /// [`Scheduler::place_app`] under an explicit trace context: the
+    /// `sched.place` span (and everything beneath it — per-module
+    /// spans, pool allocations, isolate acquisition) joins the caller's
+    /// trace so one `Cloud::submit` reconstructs as a single DAG.
+    pub fn place_app_traced(
+        &mut self,
+        dc: &mut Datacenter,
+        app: &AppSpec,
+        ctx: Option<TraceCtx>,
+    ) -> Result<AppPlacement, SchedError> {
+        let span = self.obs.span_opt(ctx.as_ref(), "sched.place");
+        let pctx = span.ctx().or(ctx);
         if self.obs.is_enabled() {
             // `resolve` below re-runs detection; this pass only exists to
             // log what got resolved, so skip it entirely when disabled.
@@ -333,12 +347,15 @@ impl Scheduler {
 
         for id in data_first {
             let module = app.module(id).expect("ordered ids exist");
+            let mspan = self.obs.span_opt(pctx.as_ref(), "sched.place_module");
+            let mctx = mspan.ctx().or(pctx);
             let placed = match module.kind {
-                ModuleKind::Data => self.place_data(dc, &app, module, &placement)?,
+                ModuleKind::Data => self.place_data(dc, &app, module, &placement, mctx)?,
                 ModuleKind::Task => {
-                    self.place_task(dc, &app, module, &placement, &colocate_rack)?
+                    self.place_task(dc, &app, module, &placement, &colocate_rack, mctx)?
                 }
             };
+            mspan.exit();
             placement.modules.insert(id.clone(), placed);
         }
         dc.telemetry_mut().incr("apps_placed", 1);
@@ -481,6 +498,7 @@ impl Scheduler {
         _app: &AppSpec,
         module: &udc_spec::ModuleSpec,
         _so_far: &AppPlacement,
+        ctx: Option<TraceCtx>,
     ) -> Result<ModulePlacement, SchedError> {
         let kind = self.choose_storage_kind(dc, module);
         // Capacity: explicit demand, else bytes rounded up to MiB.
@@ -509,8 +527,14 @@ impl Scheduler {
                         available: 0,
                     },
                 })?
-                .allocate(&self.options.tenant, units, &constraints)
-            {
+                .allocate_traced(
+                    &self.obs,
+                    ctx.as_ref(),
+                    module.id.as_str(),
+                    &self.options.tenant,
+                    units,
+                    &constraints,
+                ) {
                 Ok(a) => {
                     replica_devices.push(a.slices[0].device);
                     allocations.push(a);
@@ -523,6 +547,18 @@ impl Scheduler {
                     }
                     let distinct = dc.pool(kind).map(|p| p.len()).unwrap_or(0);
                     return if (replicas as usize) > distinct {
+                        if self.obs.is_enabled() {
+                            self.obs.decide(Decision {
+                                ctx,
+                                stage: "sched.place_data",
+                                module: module.id.as_str(),
+                                candidate: "-",
+                                accepted: false,
+                                reason: ReasonCode::FailureDomain,
+                                score: None,
+                                detail: format!("replicas={replicas} distinct_devices={distinct}"),
+                            });
+                        }
                         Err(SchedError::NotEnoughFailureIndependence {
                             module: module.id.to_string(),
                             requested: replicas,
@@ -547,7 +583,7 @@ impl Scheduler {
         // Data modules live in storage service environments; isolation
         // maps to the storage-side env (no TEE on storage devices).
         let env = select_env(&module.exec_env, kind).expect("selection is total");
-        let (start_mode, startup_us) = self.start_env(env);
+        let (start_mode, startup_us) = self.start_env(env, ctx);
         Ok(ModulePlacement {
             module: module.id.clone(),
             primary_device: replica_devices[0],
@@ -568,6 +604,7 @@ impl Scheduler {
         module: &udc_spec::ModuleSpec,
         so_far: &AppPlacement,
         colocate_group: &BTreeMap<ModuleId, usize>,
+        ctx: Option<TraceCtx>,
     ) -> Result<ModulePlacement, SchedError> {
         let kind = self.choose_compute_kind(dc, module);
         let explicit = module.resource.demand.get(kind);
@@ -604,6 +641,54 @@ impl Scheduler {
                 }
             }
         }
+        if self.obs.is_enabled() {
+            // Audit pass: one decision record per candidate, classifying
+            // why each lost to the winner (capacity, locality, policy
+            // score). Runs only with an enabled hub — the scoring loop
+            // above stays allocation-free for the disabled hot path.
+            for c in cands {
+                let score = self.options.policy.score(c);
+                let accepted = score.is_some() && best.map(|(_, d)| d) == Some(c.device);
+                let reason = if accepted {
+                    ReasonCode::Accepted
+                } else if score.is_none() {
+                    ReasonCode::Policy
+                } else if c.free_units < c.demand {
+                    ReasonCode::Capacity
+                } else if preferred_rack.is_some_and(|r| r != c.rack) {
+                    ReasonCode::Locality
+                } else {
+                    ReasonCode::Policy
+                };
+                let detail = match reason {
+                    ReasonCode::Accepted => format!("won with score {}", score.unwrap_or(0)),
+                    ReasonCode::Policy if score.is_none() => "policy declined".to_string(),
+                    ReasonCode::Capacity => {
+                        format!("free={} needed={}", c.free_units, c.demand)
+                    }
+                    ReasonCode::Locality => format!(
+                        "rack={} preferred={}",
+                        c.rack,
+                        preferred_rack.unwrap_or(u32::MAX)
+                    ),
+                    _ => format!(
+                        "scored {} below winner {}",
+                        score.unwrap_or(0),
+                        best.map(|(s, _)| s).unwrap_or(0)
+                    ),
+                };
+                self.obs.decide(Decision {
+                    ctx,
+                    stage: "sched.place_task",
+                    module: module.id.as_str(),
+                    candidate: &format!("dev{}", c.device.0),
+                    accepted,
+                    reason,
+                    score,
+                    detail,
+                });
+            }
+        }
         let constraints = AllocConstraints {
             exclusive: env.single_tenant,
             prefer_rack: preferred_rack,
@@ -626,8 +711,16 @@ impl Scheduler {
                 available: 0,
             },
         })?;
+        let obs = &self.obs;
         let alloc = pool
-            .allocate(&self.options.tenant, units, &constraints)
+            .allocate_traced(
+                obs,
+                ctx.as_ref(),
+                module.id.as_str(),
+                &self.options.tenant,
+                units,
+                &constraints,
+            )
             .or_else(|_| {
                 // Fall back to an unpinned allocation (policy pick may
                 // have raced with capacity).
@@ -638,7 +731,14 @@ impl Scheduler {
                     require_device: None,
                     avoid: Vec::new(),
                 };
-                pool.allocate(&self.options.tenant, units, &relaxed)
+                pool.allocate_traced(
+                    obs,
+                    ctx.as_ref(),
+                    module.id.as_str(),
+                    &self.options.tenant,
+                    units,
+                    &relaxed,
+                )
             })
             .map_err(|cause| SchedError::Alloc {
                 module: module.id.to_string(),
@@ -700,10 +800,16 @@ impl Scheduler {
                 require_device: None,
                 avoid: replica_devices.clone(),
             };
-            match dc
-                .pool_mut(kind)
-                .map(|p| p.allocate(&self.options.tenant, units, &standby_constraints))
-            {
+            match dc.pool_mut(kind).map(|p| {
+                p.allocate_traced(
+                    &self.obs,
+                    ctx.as_ref(),
+                    module.id.as_str(),
+                    &self.options.tenant,
+                    units,
+                    &standby_constraints,
+                )
+            }) {
                 Some(Ok(a)) => {
                     replica_devices.push(a.slices[0].device);
                     allocations.push(a);
@@ -721,7 +827,7 @@ impl Scheduler {
             }
         }
 
-        let (start_mode, startup_us) = self.start_env(env);
+        let (start_mode, startup_us) = self.start_env(env, ctx);
         let est_exec_us = module.work_units.map(|w| {
             let base = dc
                 .device(device)
@@ -870,9 +976,9 @@ impl Scheduler {
         Ok(new_device)
     }
 
-    fn start_env(&mut self, env: EnvironmentPlan) -> (StartMode, u64) {
+    fn start_env(&mut self, env: EnvironmentPlan, ctx: Option<TraceCtx>) -> (StartMode, u64) {
         let was_ready = self.warm_pool.ready(env.kind) > 0;
-        let latency = self.warm_pool.acquire(env.kind);
+        let latency = self.warm_pool.acquire_traced(env.kind, ctx.as_ref());
         let mode = if was_ready {
             StartMode::Warm
         } else {

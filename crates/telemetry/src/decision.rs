@@ -1,0 +1,235 @@
+//! Structured decision records: the control plane's audit trail.
+//!
+//! §4 of the paper asks how tenants can *trust* the cloud; metrics say
+//! what happened, spans say when — decision records say **why**. Every
+//! time the scheduler or a resource pool considers a candidate (a
+//! device, a server, a rack) it can append one record stating whether
+//! the candidate was accepted and, if not, the reason class. The
+//! `udc-trace` tool replays these to answer "why did module X land on
+//! server Y and not Z".
+//!
+//! The log is a bounded ring like the flight recorder: old records are
+//! evicted (counted, never silently) so a long-running control plane
+//! cannot grow without bound.
+
+use std::collections::VecDeque;
+
+use crate::{Micros, TraceCtx};
+
+/// Why a candidate was accepted or rejected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ReasonCode {
+    /// Candidate won: it was selected for the allocation.
+    Accepted,
+    /// Not enough free capacity on the candidate.
+    Capacity,
+    /// Candidate lost on rack/locality preference.
+    Locality,
+    /// Tenant policy scored the candidate lower (or forbade it).
+    Policy,
+    /// Pruned before full evaluation (e.g. a segment-tree subtree
+    /// whose per-dimension maximum could not fit the demand).
+    Prune,
+    /// Candidate could not satisfy an exclusivity/isolation demand.
+    Exclusivity,
+    /// Rejected to preserve failure independence (replica anti-affinity).
+    FailureDomain,
+}
+
+impl ReasonCode {
+    /// Stable lower-snake name used in JSON exports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ReasonCode::Accepted => "accepted",
+            ReasonCode::Capacity => "capacity",
+            ReasonCode::Locality => "locality",
+            ReasonCode::Policy => "policy",
+            ReasonCode::Prune => "prune",
+            ReasonCode::Exclusivity => "exclusivity",
+            ReasonCode::FailureDomain => "failure_domain",
+        }
+    }
+}
+
+/// One decision as reported by a call site (borrowed strings; the log
+/// owns copies only if the hub is enabled).
+#[derive(Clone, Debug)]
+pub struct Decision<'a> {
+    /// Trace this decision belongs to, when the request path carries one.
+    pub ctx: Option<TraceCtx>,
+    /// Which stage decided, e.g. `"sched.place_task"` or `"hal.alloc"`.
+    pub stage: &'a str,
+    /// The module (or demand) being placed.
+    pub module: &'a str,
+    /// The candidate considered, e.g. a device or server id.
+    pub candidate: &'a str,
+    /// Whether the candidate was selected.
+    pub accepted: bool,
+    /// Reason class for the outcome.
+    pub reason: ReasonCode,
+    /// Policy score, when the decision was score-driven.
+    pub score: Option<i64>,
+    /// Free-form detail, e.g. `"free=2 needed=4"`.
+    pub detail: String,
+}
+
+/// One recorded decision (owned, exported to JSON).
+#[derive(Clone, Debug, PartialEq)]
+pub struct DecisionRecord {
+    /// Arrival order under the recording hub (re-sequenced on absorb).
+    pub seq: u64,
+    /// Trace id, when the request path carried a [`TraceCtx`].
+    pub trace: Option<u64>,
+    /// Simulated timestamp.
+    pub at_us: Micros,
+    /// Deciding stage.
+    pub stage: String,
+    /// Module being placed.
+    pub module: String,
+    /// Candidate considered.
+    pub candidate: String,
+    /// Whether the candidate won.
+    pub accepted: bool,
+    /// Reason class.
+    pub reason: ReasonCode,
+    /// Policy score, when score-driven.
+    pub score: Option<i64>,
+    /// Free-form detail.
+    pub detail: String,
+}
+
+/// Bounded ring of decision records.
+pub(crate) struct DecisionLog {
+    records: VecDeque<DecisionRecord>,
+    capacity: usize,
+    next_seq: u64,
+    dropped: u64,
+}
+
+impl DecisionLog {
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            records: VecDeque::new(),
+            capacity,
+            next_seq: 0,
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, rec: DecisionRecord) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(rec);
+    }
+
+    pub fn record(&mut self, d: Decision<'_>, at: Micros) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.push(DecisionRecord {
+            seq,
+            trace: d.ctx.map(|c| c.trace_id),
+            at_us: at,
+            stage: d.stage.to_string(),
+            module: d.module.to_string(),
+            candidate: d.candidate.to_string(),
+            accepted: d.accepted,
+            reason: d.reason,
+            score: d.score,
+            detail: d.detail,
+        });
+    }
+
+    /// Appends `other`'s records, re-sequencing under this log's
+    /// counter (timestamps kept) and shifting trace ids by
+    /// `trace_offset` to match the span-store remap.
+    pub fn absorb(&mut self, other: &DecisionLog, trace_offset: u64) {
+        self.dropped += other.dropped;
+        for r in &other.records {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            let mut rec = r.clone();
+            rec.seq = seq;
+            rec.trace = rec.trace.map(|t| t + trace_offset);
+            self.push(rec);
+        }
+    }
+
+    pub fn records(&self) -> impl Iterator<Item = &DecisionRecord> {
+        self.records.iter()
+    }
+
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk<'a>(
+        stage: &'a str,
+        candidate: &'a str,
+        accepted: bool,
+        reason: ReasonCode,
+    ) -> Decision<'a> {
+        Decision {
+            ctx: None,
+            stage,
+            module: "m0",
+            candidate,
+            accepted,
+            reason,
+            score: None,
+            detail: String::new(),
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let mut log = DecisionLog::new(2);
+        log.record(mk("s", "a", false, ReasonCode::Capacity), 1);
+        log.record(mk("s", "b", false, ReasonCode::Policy), 2);
+        log.record(mk("s", "c", true, ReasonCode::Accepted), 3);
+        let got: Vec<_> = log.records().map(|r| r.candidate.clone()).collect();
+        assert_eq!(got, vec!["b", "c"]);
+        assert_eq!(log.dropped(), 1);
+        // Sequence numbers keep counting past evictions.
+        assert_eq!(log.records().last().unwrap().seq, 2);
+    }
+
+    #[test]
+    fn absorb_resequences_and_offsets_traces() {
+        let mut dst = DecisionLog::new(16);
+        dst.record(mk("s", "a", true, ReasonCode::Accepted), 1);
+
+        let mut src = DecisionLog::new(16);
+        let mut d = mk("s", "b", false, ReasonCode::Locality);
+        d.ctx = Some(TraceCtx {
+            trace_id: 0,
+            span: 3,
+        });
+        src.record(d, 9);
+
+        dst.absorb(&src, 5);
+        let recs: Vec<_> = dst.records().cloned().collect();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[1].seq, 1, "re-sequenced under dst counter");
+        assert_eq!(recs[1].at_us, 9, "timestamp preserved");
+        assert_eq!(recs[1].trace, Some(5), "trace id shifted");
+    }
+
+    #[test]
+    fn zero_capacity_drops_everything() {
+        let mut log = DecisionLog::new(0);
+        log.record(mk("s", "a", true, ReasonCode::Accepted), 1);
+        assert_eq!(log.records().count(), 0);
+        assert_eq!(log.dropped(), 1);
+    }
+}

@@ -3,6 +3,7 @@
 use std::io;
 use std::path::{Path, PathBuf};
 
+use crate::decision::DecisionRecord;
 use crate::json::J;
 use crate::metrics::HistogramSummary;
 use crate::recorder::{Event, FieldValue};
@@ -24,6 +25,10 @@ pub struct Snapshot {
     pub events: Vec<Event>,
     /// Events evicted from the ring before this snapshot.
     pub dropped_events: u64,
+    /// Decision records, oldest first.
+    pub decisions: Vec<DecisionRecord>,
+    /// Decisions evicted from the ring before this snapshot.
+    pub dropped_decisions: u64,
 }
 
 impl Snapshot {
@@ -47,6 +52,8 @@ impl Snapshot {
             spans: state.spans.records().to_vec(),
             events: state.recorder.events().cloned().collect(),
             dropped_events: state.recorder.dropped(),
+            decisions: state.decisions.records().cloned().collect(),
+            dropped_decisions: state.decisions.dropped(),
         }
     }
 
@@ -111,6 +118,7 @@ impl Snapshot {
                                 "parent".to_string(),
                                 s.parent.map(|p| J::U(p as u64)).unwrap_or(J::Null),
                             ),
+                            ("trace".to_string(), s.trace.map(J::U).unwrap_or(J::Null)),
                             ("name".to_string(), J::S(s.name.clone())),
                             ("start_us".to_string(), J::U(s.start_us)),
                             ("end_us".to_string(), s.end_us.map(J::U).unwrap_or(J::Null)),
@@ -140,6 +148,32 @@ impl Snapshot {
             ),
         ));
         root.push(("dropped_events".to_string(), J::U(self.dropped_events)));
+        root.push((
+            "decisions".to_string(),
+            J::Arr(
+                self.decisions
+                    .iter()
+                    .map(|d| {
+                        J::Obj(vec![
+                            ("seq".to_string(), J::U(d.seq)),
+                            ("trace".to_string(), d.trace.map(J::U).unwrap_or(J::Null)),
+                            ("at_us".to_string(), J::U(d.at_us)),
+                            ("stage".to_string(), J::S(d.stage.clone())),
+                            ("module".to_string(), J::S(d.module.clone())),
+                            ("candidate".to_string(), J::S(d.candidate.clone())),
+                            ("accepted".to_string(), J::Bool(d.accepted)),
+                            ("reason".to_string(), J::S(d.reason.as_str().to_string())),
+                            ("score".to_string(), d.score.map(J::I).unwrap_or(J::Null)),
+                            ("detail".to_string(), J::S(d.detail.clone())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+        root.push((
+            "dropped_decisions".to_string(),
+            J::U(self.dropped_decisions),
+        ));
         J::Obj(root).render()
     }
 
@@ -183,7 +217,7 @@ fn field_to_json(v: &FieldValue) -> J {
 
 #[cfg(test)]
 mod tests {
-    use crate::{EventKind, FieldValue, Labels, Telemetry};
+    use crate::{Decision, EventKind, FieldValue, Labels, ReasonCode, Telemetry};
 
     #[test]
     fn export_is_valid_json_with_all_sections() {
@@ -217,5 +251,40 @@ mod tests {
         assert_eq!(ev.get("kind").and_then(|k| k.as_str()), Some("cold_start"));
         assert_eq!(ev.get("latency_us").and_then(|x| x.as_u64()), Some(250));
         assert_eq!(ev.get("module").and_then(|m| m.as_str()), Some("stage0"));
+    }
+
+    #[test]
+    fn export_carries_traces_and_decisions() {
+        let tel = Telemetry::enabled();
+        let root = tel.trace_root("cloud.submit");
+        let ctx = root.ctx().unwrap();
+        tel.span_in(&ctx, "sched.place").exit();
+        tel.decide(Decision {
+            ctx: Some(ctx),
+            stage: "sched.place_task",
+            module: "stage0",
+            candidate: "cpu-03",
+            accepted: false,
+            reason: ReasonCode::Capacity,
+            score: Some(-4),
+            detail: "free=2 needed=6".to_string(),
+        });
+        root.exit();
+
+        let text = tel.snapshot().to_json();
+        let v: serde_json::Value = serde_json::from_str(&text).expect("export parses");
+        let spans = v.get("spans").unwrap().as_array().unwrap();
+        assert_eq!(spans[0].get("trace").and_then(|t| t.as_u64()), Some(0));
+        assert_eq!(spans[1].get("trace").and_then(|t| t.as_u64()), Some(0));
+        let ds = v.get("decisions").unwrap().as_array().unwrap();
+        assert_eq!(ds.len(), 1);
+        let d = &ds[0];
+        assert_eq!(d.get("candidate").and_then(|c| c.as_str()), Some("cpu-03"));
+        assert_eq!(d.get("reason").and_then(|r| r.as_str()), Some("capacity"));
+        assert_eq!(d.get("trace").and_then(|t| t.as_u64()), Some(0));
+        assert_eq!(
+            d.get("detail").and_then(|x| x.as_str()),
+            Some("free=2 needed=6")
+        );
     }
 }

@@ -30,6 +30,7 @@
 //! then a logical tick counter stands in, keeping traces deterministic
 //! even clock-less.
 
+pub mod decision;
 pub mod export;
 mod json;
 pub mod metrics;
@@ -38,6 +39,7 @@ pub mod span;
 
 use std::sync::{Arc, Mutex};
 
+pub use decision::{Decision, DecisionRecord, ReasonCode};
 pub use export::Snapshot;
 pub use metrics::{Histogram, HistogramSummary};
 pub use recorder::{Event, EventKind, FieldValue};
@@ -49,6 +51,21 @@ pub type Micros = u64;
 
 /// A clock the hub reads for span and event timestamps.
 pub type ClockSource = Arc<dyn Fn() -> Micros + Send + Sync>;
+
+/// Causal trace context: carried explicitly along the request path
+/// (submit → place → allocate → launch → actor/dist ops) so every
+/// component's spans link into one DAG. Sim-clock based — there is no
+/// wall-clock anywhere in a trace. `Copy` so threading it through call
+/// chains costs nothing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TraceCtx {
+    /// Trace the request belongs to (unique per hub; remapped on
+    /// [`Telemetry::absorb`] so worker-hub traces never collide).
+    pub trace_id: u64,
+    /// Span id of the caller — children opened via
+    /// [`Telemetry::span_in`] attach beneath it.
+    pub span: u32,
+}
 
 /// The `(tenant, module)` dimensions every metric and event can carry.
 #[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
@@ -90,6 +107,10 @@ struct State {
     metrics: metrics::MetricsRegistry,
     spans: span::SpanStore,
     recorder: recorder::FlightRecorder,
+    decisions: decision::DecisionLog,
+    /// Next trace id to mint; every id in this hub is below it, which
+    /// is what lets `absorb` shift absorbed trace ids collision-free.
+    next_trace: u64,
 }
 
 impl State {
@@ -125,6 +146,9 @@ impl std::fmt::Debug for Telemetry {
 /// Default flight-recorder capacity (events retained).
 pub const DEFAULT_RECORDER_CAPACITY: usize = 4096;
 
+/// Default decision-log capacity (records retained).
+pub const DEFAULT_DECISION_CAPACITY: usize = 16384;
+
 impl Telemetry {
     /// A disabled hub: every operation is a no-op.
     pub fn disabled() -> Self {
@@ -138,13 +162,23 @@ impl Telemetry {
 
     /// An enabled hub retaining at most `capacity` flight events.
     pub fn with_recorder_capacity(capacity: usize) -> Self {
+        Self::with_capacities(capacity, DEFAULT_DECISION_CAPACITY)
+    }
+
+    /// An enabled hub with explicit ring capacities for the flight
+    /// recorder and the decision log. Both rings evict oldest-first and
+    /// count drops, so hub memory stays bounded no matter how many
+    /// events flow through (see the 1M-event absorb test).
+    pub fn with_capacities(recorder_capacity: usize, decision_capacity: usize) -> Self {
         Self {
             inner: Some(Arc::new(Mutex::new(State {
                 clock: None,
                 ticks: 0,
                 metrics: metrics::MetricsRegistry::default(),
                 spans: span::SpanStore::default(),
-                recorder: recorder::FlightRecorder::new(capacity),
+                recorder: recorder::FlightRecorder::new(recorder_capacity),
+                decisions: decision::DecisionLog::new(decision_capacity),
+                next_trace: 0,
             }))),
         }
     }
@@ -207,16 +241,80 @@ impl Telemetry {
     }
 
     /// Opens a span; it closes when the guard drops (or via
-    /// [`Span::exit`]). Nesting follows open-span order, forming a tree.
+    /// [`Span::exit`]). Nesting follows open-span order, forming a
+    /// tree; the span inherits the trace of its enclosing open span.
     pub fn span(&self, name: &str) -> Span {
         match self.state() {
             Some(mut s) => {
                 let at = s.now();
                 let id = s.spans.begin(name, at);
-                Span::active(self.clone(), id)
+                let trace = s.spans.trace_of(id);
+                Span::active(self.clone(), id, trace)
             }
             None => Span::inert(),
         }
+    }
+
+    /// Mints a fresh trace and opens its root span. Call once per
+    /// request (e.g. `Cloud::submit`); pass [`Span::ctx`] down the call
+    /// chain so callee spans join the same trace.
+    pub fn trace_root(&self, name: &str) -> Span {
+        match self.state() {
+            Some(mut s) => {
+                let at = s.now();
+                let trace = s.next_trace;
+                s.next_trace += 1;
+                let id = s.spans.begin_at(name, at, None, Some(trace));
+                Span::active(self.clone(), id, Some(trace))
+            }
+            None => Span::inert(),
+        }
+    }
+
+    /// Opens a span as an explicit child of `ctx` — the causal
+    /// propagation primitive. Unlike [`Telemetry::span`], the parent is
+    /// taken from the context rather than the open-span stack, so the
+    /// link survives component boundaries.
+    pub fn span_in(&self, ctx: &TraceCtx, name: &str) -> Span {
+        match self.state() {
+            Some(mut s) => {
+                let at = s.now();
+                let id = s
+                    .spans
+                    .begin_at(name, at, Some(ctx.span), Some(ctx.trace_id));
+                Span::active(self.clone(), id, Some(ctx.trace_id))
+            }
+            None => Span::inert(),
+        }
+    }
+
+    /// Convenience for call sites holding an `Option<TraceCtx>`:
+    /// [`Telemetry::span_in`] when a context is present, plain
+    /// [`Telemetry::span`] otherwise.
+    pub fn span_opt(&self, ctx: Option<&TraceCtx>, name: &str) -> Span {
+        match ctx {
+            Some(c) => self.span_in(c, name),
+            None => self.span(name),
+        }
+    }
+
+    /// Appends a structured decision record (candidate considered,
+    /// accept/reject, reason code) to the bounded decision log. Build
+    /// the [`Decision`] behind an [`Telemetry::is_enabled`] check on
+    /// hot paths — its `detail` string allocates.
+    pub fn decide(&self, d: Decision<'_>) {
+        if let Some(mut s) = self.state() {
+            let at = s.now();
+            s.decisions.record(d, at);
+        }
+    }
+
+    /// Decision records so far (snapshot order). Mostly for tests; the
+    /// JSON export carries the same data.
+    pub fn decisions(&self) -> Vec<DecisionRecord> {
+        self.state()
+            .map(|s| s.decisions.records().cloned().collect())
+            .unwrap_or_default()
     }
 
     pub(crate) fn end_span(&self, id: u32) {
@@ -256,8 +354,13 @@ impl Telemetry {
         let s = src.lock().expect("telemetry poisoned");
         d.ticks = d.ticks.max(s.ticks);
         d.metrics.merge(&s.metrics);
-        d.spans.absorb(s.spans.records());
+        // Shift absorbed trace ids past everything this hub has minted
+        // so worker-hub traces stay distinct after the merge.
+        let trace_offset = d.next_trace;
+        d.spans.absorb(s.spans.records(), trace_offset);
         d.recorder.absorb(&s.recorder);
+        d.decisions.absorb(&s.decisions, trace_offset);
+        d.next_trace += s.next_trace;
     }
 
     /// A consistent copy of everything recorded so far.
@@ -381,6 +484,97 @@ mod tests {
         let disabled = Telemetry::disabled();
         disabled.absorb(&hub);
         assert!(!disabled.is_enabled());
+    }
+
+    #[test]
+    fn absorb_keeps_worker_traces_distinct() {
+        // Two workers each mint trace 0 on their private hub; after the
+        // driver absorbs them in order, the merged store must hold two
+        // distinct, internally-connected traces.
+        let hub = Telemetry::enabled();
+        let own = hub.trace_root("driver.submit");
+        own.exit();
+
+        for _ in 0..2 {
+            let worker = Telemetry::enabled();
+            let root = worker.trace_root("worker.submit");
+            let ctx = root.ctx().unwrap();
+            worker.span_in(&ctx, "worker.place").exit();
+            worker.decide(Decision {
+                ctx: Some(ctx),
+                stage: "sched.place_task",
+                module: "m0",
+                candidate: "dev0",
+                accepted: true,
+                reason: ReasonCode::Accepted,
+                score: Some(10),
+                detail: String::new(),
+            });
+            root.exit();
+            hub.absorb(&worker);
+        }
+
+        let snap = hub.snapshot();
+        let mut traces: Vec<u64> = snap.spans.iter().filter_map(|s| s.trace).collect();
+        traces.sort_unstable();
+        traces.dedup();
+        assert_eq!(traces.len(), 3, "driver trace + one per worker");
+        // Parent links stay inside each trace.
+        for s in &snap.spans {
+            if let Some(p) = s.parent {
+                let parent = snap.spans.iter().find(|r| r.id == p).unwrap();
+                assert_eq!(parent.trace, s.trace, "parent stays in the same trace");
+            }
+        }
+        // Decisions remapped alongside their spans.
+        assert_eq!(snap.decisions.len(), 2);
+        let d_traces: Vec<_> = snap.decisions.iter().map(|d| d.trace.unwrap()).collect();
+        assert_ne!(d_traces[0], d_traces[1]);
+        for d in &snap.decisions {
+            assert!(
+                snap.spans.iter().any(|s| s.trace == d.trace),
+                "every decision's trace has spans"
+            );
+        }
+    }
+
+    #[test]
+    fn memory_stays_bounded_under_million_event_absorb_loop() {
+        // Flight-recorder unbounded-growth edge: absorb 1M events (and
+        // decisions) through bounded rings and assert retention never
+        // exceeds the configured capacities, with every eviction
+        // counted rather than silently lost.
+        const RING: usize = 512;
+        const BATCH: usize = 1000;
+        const ROUNDS: usize = 1000; // 1_000 * 1_000 = 1M events
+        let hub = Telemetry::with_capacities(RING, RING);
+        for _ in 0..ROUNDS {
+            let worker = Telemetry::with_capacities(RING, RING);
+            for i in 0..BATCH {
+                worker.event(
+                    EventKind::Measurement,
+                    Labels::none(),
+                    &[("i", FieldValue::from(i as u64))],
+                );
+                worker.decide(Decision {
+                    ctx: None,
+                    stage: "s",
+                    module: "m",
+                    candidate: "c",
+                    accepted: false,
+                    reason: ReasonCode::Capacity,
+                    score: None,
+                    detail: String::new(),
+                });
+            }
+            hub.absorb(&worker);
+        }
+        let snap = hub.snapshot();
+        assert!(snap.events.len() <= RING, "event ring stayed bounded");
+        assert!(snap.decisions.len() <= RING, "decision ring stayed bounded");
+        let total = (BATCH * ROUNDS) as u64;
+        assert_eq!(snap.dropped_events + snap.events.len() as u64, total);
+        assert_eq!(snap.dropped_decisions + snap.decisions.len() as u64, total);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Nested span tracing over simulated time.
 
-use crate::{Micros, Telemetry};
+use crate::{Micros, Telemetry, TraceCtx};
 
 /// One completed (or still-open) span.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -9,6 +9,9 @@ pub struct SpanRecord {
     pub id: u32,
     /// Enclosing span open at entry, if any.
     pub parent: Option<u32>,
+    /// Causal trace this span belongs to, if minted under a
+    /// [`TraceCtx`]. Plain spans inherit the trace of their parent.
+    pub trace: Option<u64>,
     /// Operation name, e.g. `"sched.place"`.
     pub name: String,
     /// Entry timestamp.
@@ -26,16 +29,39 @@ pub(crate) struct SpanStore {
 
 impl SpanStore {
     pub fn begin(&mut self, name: &str, at: Micros) -> u32 {
+        let parent = self.open.last().copied();
+        let trace = parent.and_then(|p| self.records[p as usize].trace);
+        self.begin_at(name, at, parent, trace)
+    }
+
+    /// Opens a span with an *explicit* parent and trace — the causal
+    /// propagation path. The explicit parent need not be the top of the
+    /// open stack (the context may have crossed a component boundary),
+    /// but the new span still joins the open stack so plain nested
+    /// spans attach beneath it.
+    pub fn begin_at(
+        &mut self,
+        name: &str,
+        at: Micros,
+        parent: Option<u32>,
+        trace: Option<u64>,
+    ) -> u32 {
         let id = self.records.len() as u32;
         self.records.push(SpanRecord {
             id,
-            parent: self.open.last().copied(),
+            parent,
+            trace,
             name: name.to_string(),
             start_us: at,
             end_us: None,
         });
         self.open.push(id);
         id
+    }
+
+    /// The trace id recorded for span `id`, if any.
+    pub fn trace_of(&self, id: u32) -> Option<u64> {
+        self.records.get(id as usize).and_then(|r| r.trace)
     }
 
     /// Closes `id` (and any children still open above it — guards
@@ -56,16 +82,19 @@ impl SpanStore {
     }
 
     /// Appends another store's records, remapping ids (and parent
-    /// links) past this store's so the combined id space stays unique.
+    /// links) past this store's so the combined id space stays unique,
+    /// and shifting trace ids by `trace_offset` so traces minted by
+    /// different worker hubs never collide after a merge.
     /// Absorbed spans keep their timestamps; any still-open ones stay
     /// open but are never pushed onto this store's open stack, so they
     /// cannot become parents of future spans.
-    pub fn absorb(&mut self, records: &[SpanRecord]) {
+    pub fn absorb(&mut self, records: &[SpanRecord], trace_offset: u64) {
         let offset = self.records.len() as u32;
         for r in records {
             self.records.push(SpanRecord {
                 id: r.id + offset,
                 parent: r.parent.map(|p| p + offset),
+                trace: r.trace.map(|t| t + trace_offset),
                 name: r.name.clone(),
                 start_us: r.start_us,
                 end_us: r.end_us,
@@ -84,14 +113,16 @@ impl SpanStore {
 pub struct Span {
     tel: Telemetry,
     id: u32,
+    trace: Option<u64>,
     active: bool,
 }
 
 impl Span {
-    pub(crate) fn active(tel: Telemetry, id: u32) -> Self {
+    pub(crate) fn active(tel: Telemetry, id: u32, trace: Option<u64>) -> Self {
         Self {
             tel,
             id,
+            trace,
             active: true,
         }
     }
@@ -100,8 +131,21 @@ impl Span {
         Self {
             tel: Telemetry::disabled(),
             id: 0,
+            trace: None,
             active: false,
         }
+    }
+
+    /// The context to hand to a callee so its spans become children of
+    /// this one. `None` on inert guards or spans outside any trace.
+    pub fn ctx(&self) -> Option<TraceCtx> {
+        if !self.active {
+            return None;
+        }
+        self.trace.map(|trace_id| TraceCtx {
+            trace_id,
+            span: self.id,
+        })
     }
 
     /// Closes the span now (equivalent to dropping the guard).
@@ -175,6 +219,86 @@ mod tests {
         assert_eq!(spans[1].name, "inner");
         assert_eq!(spans[1].end_us, Some(9));
         assert_eq!(spans[0].end_us, Some(9));
+    }
+
+    #[test]
+    fn early_return_closes_span_via_drop_guard() {
+        // Regression: a `?`-style early return must not leak an open
+        // span — the guard ends it on drop.
+        fn flaky(tel: &Telemetry, fail: bool) -> Result<(), &'static str> {
+            let _s = tel.span("work.early_return");
+            if fail {
+                return Err("bail");
+            }
+            Ok(())
+        }
+        let (tel, t) = hub_with_ticking_clock();
+        t.store(7, Ordering::Relaxed);
+        assert!(flaky(&tel, true).is_err());
+        let spans = tel.snapshot().spans;
+        assert_eq!(spans.len(), 1);
+        assert_eq!(
+            spans[0].end_us,
+            Some(7),
+            "early return still closed the span"
+        );
+
+        // `?` propagation through a second frame behaves the same.
+        fn outer(tel: &Telemetry) -> Result<(), &'static str> {
+            let _o = tel.span("outer.q");
+            flaky(tel, true)?;
+            Ok(())
+        }
+        assert!(outer(&tel).is_err());
+        let spans = tel.snapshot().spans;
+        assert_eq!(spans.len(), 3);
+        assert!(
+            spans.iter().all(|s| s.end_us.is_some()),
+            "no span leaks open across ? propagation"
+        );
+    }
+
+    #[test]
+    fn trace_context_links_spans_across_call_boundaries() {
+        let (tel, t) = hub_with_ticking_clock();
+        t.store(1, Ordering::Relaxed);
+        let root = tel.trace_root("cloud.submit");
+        let ctx = root.ctx().expect("root carries a trace context");
+        // A child opened from the context, as a callee would.
+        let child = tel.span_in(&ctx, "sched.place");
+        // A plain span nested under the child inherits its trace.
+        let plain = tel.span("hal.pool.allocate");
+        plain.exit();
+        child.exit();
+        root.exit();
+
+        let spans = tel.snapshot().spans;
+        assert_eq!(spans.len(), 3);
+        let trace = spans[0].trace.expect("root has a trace id");
+        assert!(spans.iter().all(|s| s.trace == Some(trace)));
+        assert_eq!(spans[1].parent, Some(spans[0].id));
+        assert_eq!(spans[2].parent, Some(spans[1].id));
+    }
+
+    #[test]
+    fn separate_roots_get_distinct_trace_ids() {
+        let tel = Telemetry::enabled();
+        let a = tel.trace_root("submit.a");
+        let ta = a.ctx().unwrap().trace_id;
+        a.exit();
+        let b = tel.trace_root("submit.b");
+        let tb = b.ctx().unwrap().trace_id;
+        b.exit();
+        assert_ne!(ta, tb);
+    }
+
+    #[test]
+    fn untraced_spans_have_no_ctx() {
+        let tel = Telemetry::enabled();
+        let s = tel.span("loose");
+        assert!(s.ctx().is_none(), "span outside any trace has no context");
+        s.exit();
+        assert!(Telemetry::disabled().span("x").ctx().is_none());
     }
 
     #[test]

@@ -1,0 +1,130 @@
+//! Property tests for span-store absorption: when the parallel harness
+//! merges worker hubs (`Telemetry::absorb`), every worker's span forest
+//! must survive re-sequencing intact — parent/child links, names,
+//! relative order, and trace membership — no matter how the workers
+//! nested their spans.
+
+use proptest::prelude::*;
+use udc_telemetry::{SpanRecord, Telemetry};
+
+/// One worker's recording schedule: a stack program where `true` opens
+/// a span and `false` closes the innermost open one (no-op when empty).
+type Program = Vec<bool>;
+
+/// What the merged store must contain for one worker: spans in creation
+/// order with worker-local parent indices and worker-local trace ids.
+struct ExpectedSpan {
+    name: String,
+    parent: Option<usize>,
+    trace: usize,
+}
+
+/// Runs `program` on a fresh hub, mirroring the expected structure with
+/// a plain stack oracle. Stack-empty opens mint new traces (as
+/// `Cloud::submit` does); nested opens use plain `span()` and must
+/// inherit the enclosing trace.
+fn run_worker(program: &Program) -> (Telemetry, Vec<ExpectedSpan>) {
+    let tel = Telemetry::enabled();
+    let mut guards = Vec::new();
+    let mut stack: Vec<usize> = Vec::new();
+    let mut expected: Vec<ExpectedSpan> = Vec::new();
+    let mut traces = 0usize;
+    for (i, &open) in program.iter().enumerate() {
+        if open {
+            let name = format!("op{i}");
+            let trace = match stack.last() {
+                Some(&p) => expected[p].trace,
+                None => {
+                    traces += 1;
+                    traces - 1
+                }
+            };
+            let guard = if stack.is_empty() {
+                tel.trace_root(&name)
+            } else {
+                tel.span(&name)
+            };
+            expected.push(ExpectedSpan {
+                name,
+                parent: stack.last().copied(),
+                trace,
+            });
+            stack.push(expected.len() - 1);
+            guards.push(guard);
+        } else if stack.pop().is_some() {
+            guards.pop(); // drop ends the innermost open span
+        }
+    }
+    drop(guards); // close whatever remains open
+    (tel, expected)
+}
+
+fn span_by_id(spans: &[SpanRecord], id: u32) -> &SpanRecord {
+    spans.iter().find(|s| s.id == id).expect("span id exists")
+}
+
+proptest! {
+    #[test]
+    fn absorb_preserves_worker_forests(
+        programs in prop::collection::vec(
+            prop::collection::vec(any::<bool>(), 1..40),
+            1..5,
+        ),
+    ) {
+        let hub = Telemetry::enabled();
+        let mut all_expected = Vec::new();
+        for program in &programs {
+            let (worker, expected) = run_worker(program);
+            hub.absorb(&worker);
+            all_expected.push(expected);
+        }
+
+        let spans = hub.snapshot().spans;
+        let total: usize = all_expected.iter().map(Vec::len).sum();
+        prop_assert_eq!(spans.len(), total, "no span lost or invented");
+
+        let mut offset = 0usize;
+        let mut seen_traces: Vec<u64> = Vec::new();
+        for expected in &all_expected {
+            let slice = &spans[offset..offset + expected.len()];
+            let mut worker_traces: Vec<u64> = Vec::new();
+            for (local, (exp, got)) in expected.iter().zip(slice).enumerate() {
+                prop_assert_eq!(&got.name, &exp.name);
+                // Parent links point at the right span of the SAME worker.
+                match exp.parent {
+                    Some(p) => {
+                        let parent = span_by_id(&spans, got.parent.expect("kept its parent"));
+                        prop_assert_eq!(&parent.name, &expected[p].name);
+                        prop_assert_eq!(parent.id, slice[p].id);
+                        prop_assert_eq!(parent.trace, got.trace, "trace follows parent");
+                    }
+                    None => prop_assert!(got.parent.is_none(), "roots stay roots"),
+                }
+                // Trace ids: same worker-local trace -> same merged id.
+                let trace = got.trace.expect("every span traced");
+                while worker_traces.len() <= exp.trace {
+                    worker_traces.push(u64::MAX);
+                }
+                if worker_traces[exp.trace] == u64::MAX {
+                    worker_traces[exp.trace] = trace;
+                } else {
+                    prop_assert_eq!(worker_traces[exp.trace], trace);
+                }
+                // Creation order survives re-sequencing.
+                if local > 0 {
+                    prop_assert!(slice[local - 1].id < got.id);
+                    prop_assert!(slice[local - 1].start_us <= got.start_us);
+                }
+            }
+            // No trace id leaks across workers.
+            for t in worker_traces.iter().filter(|&&t| t != u64::MAX) {
+                prop_assert!(
+                    !seen_traces.contains(t),
+                    "worker traces must stay distinct after absorb"
+                );
+                seen_traces.push(*t);
+            }
+            offset += expected.len();
+        }
+    }
+}
