@@ -1,0 +1,420 @@
+//! `udc-chaos` — deterministic chaos harness for the self-healing
+//! control plane (§3.4).
+//!
+//! Sweeps crash rate × repair delay × checkpoint cadence over the
+//! medical pipeline. Each trial injects a seeded [`FailurePlan`] into a
+//! fresh cloud, drives [`UdcCloud::advance`] until the failure schedule
+//! drains, and asserts the convergence invariants after every interval:
+//!
+//! - no live allocation references a dead device;
+//! - no orphaned isolates (healthy ⇔ running environment with
+//!   allocations; repairing/degraded ⇔ stopped, fully evicted);
+//! - once converged, `verify_deployment` passes and the bill
+//!   reconciles post-heal;
+//! - every deployment ends converged or explicitly Degraded.
+//!
+//! Trials are independent: each derives its RNG seed from its index and
+//! records into a private telemetry hub, absorbed in trial order — so
+//! the exported artifact is byte-identical at any `--threads N`.
+//!
+//! ```text
+//! udc-chaos                      # full 54-trial sweep
+//! udc-chaos --threads 8          # same artifact, faster
+//! udc-chaos --smoke              # small fixed sweep for CI
+//! udc-chaos --explain A2         # repair decision audit for a module
+//! ```
+
+use std::collections::BTreeSet;
+
+use udc_bench::harness::{fan_out, parse_threads};
+use udc_bench::{banner_stderr, fmt_us, pct, Table};
+use udc_core::{CloudConfig, Deployment, ModuleHealth, UdcCloud};
+use udc_hal::{DeviceId, FailurePlan};
+use udc_isolate::WarmPoolConfig;
+use udc_spec::FailureHandling;
+use udc_telemetry::{EventKind, FieldValue, Labels, ReasonCode, Telemetry};
+use udc_workload::medical_pipeline;
+
+/// Crash window: every crash lands inside the first simulated second.
+const HORIZON_US: u64 = 1_000_000;
+/// Interval between repair-loop invocations.
+const STEP_US: u64 = 250_000;
+/// Messages seeded per module (the recoverable state).
+const MESSAGES_PER_MODULE: u64 = 40;
+
+/// One cell of the sweep.
+#[derive(Clone, Copy)]
+struct Combo {
+    crash_prob: f64,
+    repair_delay_us: u64,
+    /// 0 = re-execute everywhere; otherwise checkpoint every N messages
+    /// (1 message models 1 ms of work, so this is also `interval_ms`).
+    checkpoint_every: u64,
+    rep: usize,
+}
+
+impl Combo {
+    fn label(&self) -> Labels {
+        Labels::tenant(format!(
+            "c{:02}-r{}-k{:02}-{}",
+            (self.crash_prob * 100.0) as u32,
+            self.repair_delay_us / 1_000,
+            self.checkpoint_every,
+            self.rep
+        ))
+    }
+}
+
+fn sweep(smoke: bool) -> Vec<Combo> {
+    let (crash_probs, repair_delays, cadences, reps): (&[f64], &[u64], &[u64], usize) = if smoke {
+        (&[0.20], &[250_000], &[0, 8], 1)
+    } else {
+        (&[0.08, 0.20, 0.40], &[250_000, 2_000_000], &[0, 8, 32], 3)
+    };
+    let mut combos = Vec::new();
+    for &crash_prob in crash_probs {
+        for &repair_delay_us in repair_delays {
+            for &checkpoint_every in cadences {
+                for rep in 0..reps {
+                    combos.push(Combo {
+                        crash_prob,
+                        repair_delay_us,
+                        checkpoint_every,
+                        rep,
+                    });
+                }
+            }
+        }
+    }
+    combos
+}
+
+/// Asserts the structural invariants that must hold after *every*
+/// repair interval, not just at the end.
+fn assert_interval_invariants(dep: &Deployment, dead: &BTreeSet<DeviceId>, trial: usize) {
+    for (id, p) in &dep.placement.modules {
+        let health = dep.health.module(id);
+        let env = &dep.environments[id];
+        match health {
+            ModuleHealth::Healthy => {
+                assert!(
+                    !p.allocations.is_empty(),
+                    "trial {trial}: healthy module {id} holds no allocation"
+                );
+                assert!(
+                    env.is_running(),
+                    "trial {trial}: healthy module {id} has no running isolate"
+                );
+                for a in &p.allocations {
+                    for s in &a.slices {
+                        assert!(
+                            !dead.contains(&s.device),
+                            "trial {trial}: {id} allocation references dead device {}",
+                            s.device
+                        );
+                    }
+                }
+            }
+            ModuleHealth::Repairing { .. } | ModuleHealth::Degraded { .. } => {
+                // Fully evicted: no allocation survives, no isolate runs
+                // detached from resources (an orphan).
+                assert!(
+                    p.allocations.is_empty(),
+                    "trial {trial}: lost module {id} still holds allocations"
+                );
+                assert!(
+                    !env.is_running(),
+                    "trial {trial}: orphaned isolate for lost module {id}"
+                );
+            }
+        }
+    }
+}
+
+/// Runs one trial; returns its private hub for in-order absorption.
+fn run_trial(trial: usize, combo: Combo) -> Telemetry {
+    let seed = 0xC4A0_5000u64 + trial as u64;
+    let labels = combo.label();
+
+    // The user's failure-handling choice is the sweep's third axis:
+    // override every module to the cadence under test (0 = re-execute).
+    let mut app = medical_pipeline();
+    for m in app.modules.values_mut() {
+        m.dist.failure = Some(if combo.checkpoint_every == 0 {
+            FailureHandling::Reexecute
+        } else {
+            FailureHandling::Checkpoint {
+                interval_ms: combo.checkpoint_every,
+            }
+        });
+    }
+
+    let mut cloud = UdcCloud::new(CloudConfig {
+        warm_pool: WarmPoolConfig::uniform(2),
+        ..Default::default()
+    });
+    let tel = Telemetry::enabled();
+    cloud.set_observer(tel.clone());
+    let mut dep = cloud.submit(&app).expect("pipeline places");
+    cloud.run(&dep); // record the billing counters the post-heal reconciliation audits
+    dep.recovery.seed_app(&app, MESSAGES_PER_MODULE);
+
+    // Anchor the failure window to the post-run clock: `run` advanced
+    // simulated time by the workload's execution, and a plan left on
+    // `[0, HORIZON_US)` would fire entirely inside the first tick —
+    // crash and repair collapsing into one interval, so no repair ever
+    // races a still-dead device.
+    let t0 = cloud.datacenter().clock().now();
+    let devices = cloud.datacenter().device_ids();
+    cloud.datacenter_mut().set_failure_plan(
+        FailurePlan::random(
+            &devices,
+            combo.crash_prob,
+            HORIZON_US,
+            combo.repair_delay_us,
+            seed,
+        )
+        .shifted(t0),
+    );
+
+    // Drive the repair loop past the last possible event (crash window +
+    // repair delay) plus the worst-case retry backoff tail.
+    let deadline = HORIZON_US + combo.repair_delay_us + 12_000_000;
+    let mut dead: BTreeSet<DeviceId> = BTreeSet::new();
+    let mut elapsed = 0u64;
+    let (mut crashes, mut repairs, mut retries) = (0u64, 0u64, 0u64);
+    while elapsed < deadline {
+        let report = cloud.advance(&mut dep, STEP_US);
+        elapsed += STEP_US;
+        for d in &report.crashed_devices {
+            dead.insert(*d);
+        }
+        for d in &report.repaired_devices {
+            dead.remove(d);
+        }
+        crashes += report.crashed_devices.len() as u64;
+        repairs += report.repaired.len() as u64;
+        retries += report.retried.len() as u64;
+        assert_interval_invariants(&dep, &dead, trial);
+        if elapsed > HORIZON_US + combo.repair_delay_us
+            && report.is_quiet()
+            && dep.health.repairing_modules().is_empty()
+        {
+            break;
+        }
+    }
+    assert!(
+        dead.is_empty(),
+        "trial {trial}: failure plan left dead devices"
+    );
+
+    // Terminal invariant: converged, or *explicitly* degraded — never a
+    // silent in-between.
+    let degraded = dep.health.degraded_modules();
+    let converged = dep.health.is_converged();
+    assert!(
+        converged || !degraded.is_empty(),
+        "trial {trial}: neither converged nor degraded"
+    );
+    assert!(
+        dep.health.repairing_modules().is_empty(),
+        "trial {trial}: repair still in flight at the deadline"
+    );
+    if converged {
+        let verification = cloud.verify_deployment(&dep);
+        assert!(
+            verification.all_fulfilled(),
+            "trial {trial}: post-heal verification failed"
+        );
+        let billing = verification.billing.expect("telemetry enabled");
+        assert!(
+            billing.consistent(),
+            "trial {trial}: bill does not reconcile post-heal: {billing:?}"
+        );
+    }
+
+    tel.incr("chaos.trials", labels.clone(), 1);
+    tel.incr("chaos.converged", labels.clone(), converged as u64);
+    tel.incr(
+        "chaos.degraded_modules",
+        labels.clone(),
+        degraded.len() as u64,
+    );
+    tel.incr("chaos.device_crashes", labels.clone(), crashes);
+    tel.incr("chaos.module_repairs", labels.clone(), repairs);
+    tel.incr("chaos.replace_retries", labels.clone(), retries);
+    let mttr = tel.histogram("heal.mttr_us", &Labels::none());
+    tel.event(
+        EventKind::Measurement,
+        labels,
+        &[
+            ("trial", FieldValue::from(trial)),
+            ("crash_prob", FieldValue::from(combo.crash_prob)),
+            ("repair_delay_us", FieldValue::from(combo.repair_delay_us)),
+            ("checkpoint_every", FieldValue::from(combo.checkpoint_every)),
+            ("device_crashes", FieldValue::from(crashes)),
+            ("module_repairs", FieldValue::from(repairs)),
+            ("converged", FieldValue::from(converged)),
+            ("degraded_modules", FieldValue::from(degraded.len())),
+            (
+                "mttr_mean_us",
+                FieldValue::from(mttr.as_ref().map(|h| h.mean).unwrap_or(0.0)),
+            ),
+        ],
+    );
+
+    cloud.teardown(&mut dep);
+    tel
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let explain = args
+        .iter()
+        .position(|a| a == "--explain")
+        .and_then(|i| args.get(i + 1).cloned());
+    let threads = match parse_threads(&args) {
+        Ok(n) => n,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+
+    banner_stderr(
+        "udc-chaos",
+        "Self-healing under deterministic chaos",
+        "user-defined failure handling only matters if the provider closes \
+         the loop: crash → detect → evict → re-place → re-launch → recover",
+    );
+
+    let combos = sweep(smoke);
+    eprintln!(
+        "{} trials ({} mode), {} thread(s)",
+        combos.len(),
+        if smoke { "smoke" } else { "full" },
+        threads
+    );
+
+    let tel = Telemetry::enabled();
+    for trial in fan_out(threads, combos.len(), |i| run_trial(i, combos[i])) {
+        tel.absorb(&trial);
+    }
+
+    // Human summary per sweep cell (rep 0 shown; all reps absorbed).
+    let mut t = Table::new(&[
+        "crash prob",
+        "repair delay",
+        "ckpt every",
+        "trials",
+        "converged",
+        "degraded mods",
+        "crashes",
+        "repairs",
+        "retries",
+    ]);
+    let mut seen = BTreeSet::new();
+    let (mut trials_all, mut converged_all) = (0u64, 0u64);
+    for combo in &combos {
+        let key = (
+            (combo.crash_prob * 100.0) as u32,
+            combo.repair_delay_us,
+            combo.checkpoint_every,
+        );
+        if !seen.insert(key) {
+            continue;
+        }
+        let (mut n, mut conv, mut degr, mut crash, mut rep, mut retr) = (0, 0, 0, 0, 0, 0);
+        for other in &combos {
+            if (
+                (other.crash_prob * 100.0) as u32,
+                other.repair_delay_us,
+                other.checkpoint_every,
+            ) != key
+            {
+                continue;
+            }
+            let l = other.label();
+            n += tel.counter("chaos.trials", &l);
+            conv += tel.counter("chaos.converged", &l);
+            degr += tel.counter("chaos.degraded_modules", &l);
+            crash += tel.counter("chaos.device_crashes", &l);
+            rep += tel.counter("chaos.module_repairs", &l);
+            retr += tel.counter("chaos.replace_retries", &l);
+        }
+        trials_all += n;
+        converged_all += conv;
+        t.row(&[
+            pct(combo.crash_prob),
+            fmt_us(combo.repair_delay_us),
+            if combo.checkpoint_every == 0 {
+                "reexec".to_string()
+            } else {
+                combo.checkpoint_every.to_string()
+            },
+            n.to_string(),
+            conv.to_string(),
+            degr.to_string(),
+            crash.to_string(),
+            rep.to_string(),
+            retr.to_string(),
+        ]);
+    }
+    t.eprint();
+    eprintln!();
+    if let Some(h) = tel.histogram("heal.mttr_us", &Labels::none()) {
+        eprintln!(
+            "MTTR over {} repairs: mean {}, p95 {}",
+            h.count,
+            fmt_us(h.mean as u64),
+            fmt_us(h.p95),
+        );
+    }
+    eprintln!(
+        "convergence: {converged_all}/{trials_all} trials healed fully \
+         (the rest ended explicitly Degraded)"
+    );
+
+    if let Some(module) = explain {
+        let snapshot = tel.snapshot();
+        let picked: Vec<_> = snapshot
+            .decisions
+            .iter()
+            .filter(|d| {
+                // The repair story for a module spans two stages: the
+                // heal loop's own records (detect/degraded) plus the
+                // re-placement audit, where rejected candidates carry
+                // the crash_excluded code. Plain submit-time placement
+                // records never use the repair reason codes, so this
+                // picks out exactly the healing trail.
+                d.module == module
+                    && (d.stage.starts_with("heal.")
+                        || matches!(
+                            d.reason,
+                            ReasonCode::CrashExcluded | ReasonCode::Evicted | ReasonCode::Degraded
+                        ))
+            })
+            .collect();
+        eprintln!();
+        if picked.is_empty() {
+            eprintln!("no repair decisions recorded for module `{module}`");
+        } else {
+            eprintln!("repair audit for `{module}` ({} records):", picked.len());
+            let mut t = Table::new(&["at", "stage", "candidate", "verdict", "reason", "detail"]);
+            for d in picked {
+                t.row(&[
+                    fmt_us(d.at_us),
+                    d.stage.clone(),
+                    d.candidate.clone(),
+                    if d.accepted { "accepted" } else { "rejected" }.to_string(),
+                    d.reason.as_str().to_string(),
+                    d.detail.clone(),
+                ]);
+            }
+            t.eprint();
+        }
+    }
+
+    udc_bench::report::export("udc_chaos", &tel);
+}

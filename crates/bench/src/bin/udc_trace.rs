@@ -15,7 +15,7 @@
 //! exp_01 artifact so a regression in trace propagation fails the build.
 //!
 //! Per-trace output: the span DAG grouped by phase (validate / place /
-//! allocate / launch / actor / dist), the critical path from the root to
+//! allocate / launch / actor / dist / heal), the critical path from the root to
 //! the latest-ending leaf chain, and a per-phase self-time breakdown
 //! (each span's duration minus its children's, so phases sum to the
 //! root's wall time instead of double-counting nested spans).
@@ -63,6 +63,7 @@ const PHASES: &[(&str, &str)] = &[
     ("launch", "isolate."),
     ("actor", "actor."),
     ("dist", "dist."),
+    ("heal", "heal."),
 ];
 
 fn phase_of(name: &str) -> &'static str {

@@ -100,6 +100,11 @@ pub struct Deployment {
     /// the contract billing reconciliation checks charges against, even
     /// if the provider later changes its prices.
     pub billing: BillingModel,
+    /// Per-module repair state (driven by [`UdcCloud::advance`]).
+    pub health: crate::heal::HealthState,
+    /// Recoverable state: message log + checkpoints the repair loop
+    /// replays/restores after a crash.
+    pub recovery: crate::heal::RecoveryModel,
     /// Released flag (idempotent teardown).
     released: bool,
 }
@@ -126,17 +131,19 @@ pub struct RunReport {
 
 /// The User-Defined Cloud.
 pub struct UdcCloud {
-    dc: Datacenter,
-    scheduler: Scheduler,
+    pub(crate) dc: Datacenter,
+    pub(crate) scheduler: Scheduler,
     billing: BillingModel,
-    tenant: String,
+    pub(crate) tenant: String,
     tenant_secret: Vec<u8>,
     conflict_policy: ConflictPolicy,
     /// Per-device attestation keys, fused at build time.
-    device_keys: BTreeMap<DeviceId, [u8; 32]>,
-    next_instance: u64,
-    next_unit: u64,
-    obs: Telemetry,
+    pub(crate) device_keys: BTreeMap<DeviceId, [u8; 32]>,
+    pub(crate) next_instance: u64,
+    pub(crate) next_unit: u64,
+    pub(crate) obs: Telemetry,
+    /// Devices currently crashed (maintained by [`UdcCloud::advance`]).
+    pub(crate) dead_devices: std::collections::BTreeSet<DeviceId>,
 }
 
 impl UdcCloud {
@@ -174,6 +181,7 @@ impl UdcCloud {
             next_instance: 0,
             next_unit: 0,
             obs: Telemetry::disabled(),
+            dead_devices: std::collections::BTreeSet::new(),
         }
     }
 
@@ -311,6 +319,8 @@ impl UdcCloud {
             objects,
             data_keys,
             billing: self.billing,
+            health: crate::heal::HealthState::default(),
+            recovery: crate::heal::RecoveryModel::new(),
             released: false,
         })
     }

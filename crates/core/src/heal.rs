@@ -1,0 +1,1053 @@
+//! The self-healing repair loop (§3.4).
+//!
+//! Users "define how failures are handled for each domain (e.g.,
+//! whether to re-execute a module or recover from a user-defined
+//! checkpoint)" — but a definition is worthless unless the provider
+//! closes the loop from an injected hardware failure back to a
+//! converged, verifiable deployment. [`UdcCloud::advance`] is that
+//! loop: it drains crash/repair events from the datacenter and drives
+//! every impacted module through a traced state machine:
+//!
+//! ```text
+//!            device crash
+//!                 │
+//!                 ▼
+//!   Healthy ──► detect ──► evict ──► re-place ──► re-launch ──► recover ──► Healthy
+//!                 │                     │
+//!                 │              alloc fails: bounded retries,
+//!                 │              exponential backoff + seeded jitter
+//!                 │                     │ retries exhausted
+//!                 │                     ▼
+//!                 └────────────────► Degraded ──(capacity repaired)──► re-place …
+//! ```
+//!
+//! Every transition is observable: repairs run under `heal.detect` /
+//! `heal.replace` / `heal.recover` spans joined to one `cloud.heal`
+//! trace, candidate rejections carry the `evicted` / `crash_excluded` /
+//! `degraded` reason codes, and the hub records an MTTR histogram plus
+//! eviction / retry / replayed-message counters.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::cloud::{Deployment, UdcCloud};
+use bytes::Bytes;
+use udc_actor::{Actor, ActorError, ActorId, Ctx, Message, SupervisionPolicy, System};
+use udc_dist::{recover, CheckpointStore, RecoveryOutcome, RecoveryStrategy};
+use udc_hal::DeviceId;
+use udc_isolate::{Environment, InstanceId};
+use udc_sched::StartMode;
+use udc_spec::{AppSpec, FailureHandling, ModuleId};
+use udc_telemetry::{Decision, EventKind, FieldValue, Labels, Micros, ReasonCode};
+
+/// Modelled cost of re-processing one replayed message (matches E9).
+pub const MSG_COST_US: u64 = 1_000;
+/// Modelled cost of restoring a checkpoint snapshot (matches E9).
+pub const RESTORE_COST_US: u64 = 50_000;
+
+/// Repair-loop tuning knobs, carried per deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealConfig {
+    /// Re-placement attempts before a module is declared [`ModuleHealth::Degraded`].
+    pub max_retries: u32,
+    /// First retry delay; attempt `n` waits `base << (n-1)` (capped).
+    pub base_backoff_us: Micros,
+    /// Ceiling on the exponential backoff.
+    pub max_backoff_us: Micros,
+    /// Seed for the deterministic retry jitter (same seed → identical
+    /// schedules, which keeps chaos artifacts byte-reproducible).
+    pub jitter_seed: u64,
+}
+
+impl Default for HealConfig {
+    fn default() -> Self {
+        Self {
+            max_retries: 5,
+            base_backoff_us: 10_000,
+            max_backoff_us: 5_000_000,
+            jitter_seed: 0x75dc_c0de,
+        }
+    }
+}
+
+/// Where a module stands in the repair state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModuleHealth {
+    /// Placed, launched, allocations all on live devices.
+    Healthy,
+    /// Lost to a crash; a re-placement attempt is scheduled.
+    Repairing {
+        /// Failed re-placement attempts so far.
+        attempt: u32,
+        /// Sim-clock time of the next attempt.
+        next_retry_us: Micros,
+        /// When the crash was detected (MTTR epoch).
+        detected_us: Micros,
+    },
+    /// Retries exhausted: the module runs nowhere until repair events
+    /// return capacity, at which point healing resumes automatically.
+    Degraded {
+        /// When the crash was detected (MTTR epoch, preserved across
+        /// the degraded interval so MTTR stays honest).
+        detected_us: Micros,
+    },
+}
+
+/// Per-deployment repair state: one [`ModuleHealth`] per module that
+/// has ever been impacted (absent = healthy).
+#[derive(Debug, Clone, Default)]
+pub struct HealthState {
+    /// Tuning knobs (public so harnesses can tighten retry budgets).
+    pub config: HealConfig,
+    modules: BTreeMap<ModuleId, ModuleHealth>,
+}
+
+impl HealthState {
+    /// The module's current health (absent entries are healthy).
+    pub fn module(&self, id: &ModuleId) -> ModuleHealth {
+        self.modules
+            .get(id)
+            .copied()
+            .unwrap_or(ModuleHealth::Healthy)
+    }
+
+    /// True when every module is healthy.
+    pub fn is_converged(&self) -> bool {
+        self.modules
+            .values()
+            .all(|h| matches!(h, ModuleHealth::Healthy))
+    }
+
+    /// Modules currently degraded, in id order.
+    pub fn degraded_modules(&self) -> Vec<ModuleId> {
+        self.modules
+            .iter()
+            .filter(|(_, h)| matches!(h, ModuleHealth::Degraded { .. }))
+            .map(|(id, _)| id.clone())
+            .collect()
+    }
+
+    /// Modules with an in-flight repair, in id order.
+    pub fn repairing_modules(&self) -> Vec<ModuleId> {
+        self.modules
+            .iter()
+            .filter(|(_, h)| matches!(h, ModuleHealth::Repairing { .. }))
+            .map(|(id, _)| id.clone())
+            .collect()
+    }
+
+    fn due_repairs(&self, now: Micros) -> Vec<ModuleId> {
+        self.modules
+            .iter()
+            .filter(|(_, h)| matches!(h, ModuleHealth::Repairing { next_retry_us, .. } if *next_retry_us <= now))
+            .map(|(id, _)| id.clone())
+            .collect()
+    }
+
+    fn mark_detected(&mut self, id: &ModuleId, now: Micros) {
+        self.modules.insert(
+            id.clone(),
+            ModuleHealth::Repairing {
+                attempt: 0,
+                next_retry_us: now,
+                detected_us: now,
+            },
+        );
+    }
+
+    /// Degraded → Repairing (capacity returned); the MTTR epoch is kept.
+    fn mark_reheal(&mut self, id: &ModuleId, now: Micros) {
+        if let Some(ModuleHealth::Degraded { detected_us }) = self.modules.get(id).copied() {
+            self.modules.insert(
+                id.clone(),
+                ModuleHealth::Repairing {
+                    attempt: 0,
+                    next_retry_us: now,
+                    detected_us,
+                },
+            );
+        }
+    }
+
+    /// Marks the module healthy again, returning (attempts, detected_us).
+    fn repair_complete(&mut self, id: &ModuleId) -> (u32, Micros) {
+        let prior = self.modules.insert(id.clone(), ModuleHealth::Healthy);
+        match prior {
+            Some(ModuleHealth::Repairing {
+                attempt,
+                detected_us,
+                ..
+            }) => (attempt, detected_us),
+            _ => (0, 0),
+        }
+    }
+
+    fn schedule_retry(&mut self, id: &ModuleId, attempt: u32, next_retry_us: Micros) {
+        let detected_us = match self.module(id) {
+            ModuleHealth::Repairing { detected_us, .. }
+            | ModuleHealth::Degraded { detected_us } => detected_us,
+            ModuleHealth::Healthy => next_retry_us,
+        };
+        self.modules.insert(
+            id.clone(),
+            ModuleHealth::Repairing {
+                attempt,
+                next_retry_us,
+                detected_us,
+            },
+        );
+    }
+
+    fn mark_degraded(&mut self, id: &ModuleId) {
+        let detected_us = match self.module(id) {
+            ModuleHealth::Repairing { detected_us, .. }
+            | ModuleHealth::Degraded { detected_us } => detected_us,
+            ModuleHealth::Healthy => 0,
+        };
+        self.modules
+            .insert(id.clone(), ModuleHealth::Degraded { detected_us });
+    }
+}
+
+/// One completed module repair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModuleRepair {
+    /// The healed module.
+    pub module: ModuleId,
+    /// Failed attempts before this one succeeded.
+    pub attempts: u32,
+    /// The device the module healed onto.
+    pub new_device: DeviceId,
+    /// Detection-to-recovered time, including the modelled replay /
+    /// restore cost (the sim clock is tick-driven; recovery work is
+    /// costed, not advanced).
+    pub mttr_us: Micros,
+    /// State recovery outcome (None when the module had no recoverable
+    /// state seeded in the deployment's [`RecoveryModel`]).
+    pub recovery: Option<RecoveryOutcome>,
+}
+
+/// What one [`UdcCloud::advance`] call did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HealReport {
+    /// Devices that crashed this interval.
+    pub crashed_devices: Vec<DeviceId>,
+    /// Devices that came back this interval.
+    pub repaired_devices: Vec<DeviceId>,
+    /// Modules newly detected as lost.
+    pub detected: Vec<ModuleId>,
+    /// Allocations freed during eviction.
+    pub evicted_allocations: u64,
+    /// Warm-pool instances dropped from crashed devices.
+    pub invalidated_warm: u64,
+    /// Modules healed to completion this interval.
+    pub repaired: Vec<ModuleRepair>,
+    /// Modules whose re-placement failed and was rescheduled.
+    pub retried: Vec<ModuleId>,
+    /// Modules that exhausted retries and entered degraded mode.
+    pub degraded: Vec<ModuleId>,
+}
+
+impl HealReport {
+    /// True when the interval needed no repair work at all.
+    pub fn is_quiet(&self) -> bool {
+        self.crashed_devices.is_empty()
+            && self.repaired_devices.is_empty()
+            && self.detected.is_empty()
+            && self.repaired.is_empty()
+            && self.retried.is_empty()
+            && self.degraded.is_empty()
+    }
+}
+
+/// The deterministic per-module workload whose state the repair loop
+/// recovers: an accumulator folding little-endian u64 payloads, exactly
+/// the shape E9 uses, so replay/restore costs are comparable.
+#[derive(Default)]
+struct ModuleActor {
+    sum: u64,
+}
+
+impl Actor for ModuleActor {
+    fn on_message(&mut self, _ctx: &mut Ctx, msg: &Message) -> Result<(), ActorError> {
+        let mut b = [0u8; 8];
+        let n = msg.payload.len().min(8);
+        b[..n].copy_from_slice(&msg.payload[..n]);
+        self.sum = self.sum.wrapping_add(u64::from_le_bytes(b));
+        Ok(())
+    }
+
+    fn reset(&mut self) {
+        self.sum = 0;
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        self.sum.to_le_bytes().to_vec()
+    }
+
+    fn restore(&mut self, snapshot: &[u8]) {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(snapshot);
+        self.sum = u64::from_le_bytes(b);
+    }
+}
+
+/// Per-deployment recoverable state: a reliable message log (via a
+/// deterministic actor system) plus user-defined checkpoints. The
+/// harness seeds each module's workload; [`UdcCloud::advance`] recovers
+/// it after a crash with the module's spec'd strategy.
+#[derive(Default)]
+pub struct RecoveryModel {
+    system: System,
+    checkpoints: CheckpointStore,
+    expected: BTreeMap<ActorId, u64>,
+    recovered: BTreeMap<ActorId, u64>,
+}
+
+impl RecoveryModel {
+    /// An empty model (modules recover with zero replay).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Seeds `module` with a processed stream of `messages` messages
+    /// (payload `1..=messages` as LE u64), checkpointing every
+    /// `checkpoint_every` messages when given. The stream lives in the
+    /// reliable message log, so recovery can replay it.
+    pub fn seed_workload(
+        &mut self,
+        module: &ModuleId,
+        messages: u64,
+        checkpoint_every: Option<u64>,
+    ) {
+        let id = ActorId::new(module.as_str());
+        self.system.spawn(
+            id.clone(),
+            Box::<ModuleActor>::default(),
+            SupervisionPolicy::Restart,
+        );
+        for i in 1..=messages {
+            self.system
+                .inject(id.clone(), Bytes::copy_from_slice(&i.to_le_bytes()));
+        }
+        self.system.run_until_quiescent(usize::MAX);
+        let mut expected = 0u64;
+        let mut count = 0u64;
+        for m in self.system.log().entries().iter().filter(|m| m.to == id) {
+            let mut b = [0u8; 8];
+            let n = m.payload.len().min(8);
+            b[..n].copy_from_slice(&m.payload[..n]);
+            expected = expected.wrapping_add(u64::from_le_bytes(b));
+            count += 1;
+            if let Some(every) = checkpoint_every {
+                if every > 0 && count.is_multiple_of(every) {
+                    self.checkpoints
+                        .save(&id, m.seq, expected.to_le_bytes().to_vec());
+                }
+            }
+        }
+        self.expected.insert(id, expected);
+    }
+
+    /// Seeds every module of `app` with `messages_per_module` messages,
+    /// deriving the checkpoint cadence from each module's failure
+    /// aspect (one message models one millisecond of work, so
+    /// `Checkpoint { interval_ms }` checkpoints every `interval_ms`
+    /// messages).
+    pub fn seed_app(&mut self, app: &AppSpec, messages_per_module: u64) {
+        for m in app.iter_modules() {
+            let every = match m.dist.failure.unwrap_or_default() {
+                FailureHandling::Reexecute => None,
+                FailureHandling::Checkpoint { interval_ms } => Some(interval_ms),
+            };
+            self.seed_workload(&m.id, messages_per_module, every);
+        }
+    }
+
+    /// Recovers `module`'s state into a fresh instance using
+    /// `strategy`. Returns `None` when the module was never seeded.
+    pub fn recover_module(
+        &mut self,
+        module: &ModuleId,
+        strategy: RecoveryStrategy,
+    ) -> Option<RecoveryOutcome> {
+        let id = ActorId::new(module.as_str());
+        if !self.expected.contains_key(&id) {
+            return None;
+        }
+        let mut fresh = ModuleActor::default();
+        let out = recover(
+            &id,
+            &mut fresh,
+            self.system.log(),
+            &self.checkpoints,
+            strategy,
+        );
+        self.recovered.insert(id, fresh.sum);
+        Some(out)
+    }
+
+    /// The state the module held before the crash (seeded workloads).
+    pub fn expected_state(&self, module: &ModuleId) -> Option<u64> {
+        self.expected.get(&ActorId::new(module.as_str())).copied()
+    }
+
+    /// The state the last recovery reconstructed.
+    pub fn recovered_state(&self, module: &ModuleId) -> Option<u64> {
+        self.recovered.get(&ActorId::new(module.as_str())).copied()
+    }
+}
+
+/// Deterministic splitmix64 step (for seeded retry jitter).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Exponential backoff with deterministic jitter: attempt `n` waits
+/// `min(base << (n-1), max)` plus a seeded jitter of up to a quarter of
+/// that, so concurrent repairs don't thundering-herd while identical
+/// seeds still produce identical schedules.
+pub fn backoff_delay_us(config: &HealConfig, module: &ModuleId, attempt: u32) -> Micros {
+    let shift = attempt.saturating_sub(1).min(32);
+    let raw = config
+        .base_backoff_us
+        .saturating_mul(1u64 << shift)
+        .min(config.max_backoff_us);
+    let jitter_space = raw / 4 + 1;
+    let h = splitmix64(config.jitter_seed ^ fnv1a(module.as_str().as_bytes()) ^ attempt as u64);
+    raw + h % jitter_space
+}
+
+impl UdcCloud {
+    /// Advances virtual time, applying failure events and driving the
+    /// repair loop over `dep`: *detect → evict → re-place → re-launch →
+    /// recover*. Call repeatedly (e.g. from a chaos harness) until
+    /// [`HealthState::is_converged`]; degraded modules re-heal on their
+    /// own once repair events return capacity.
+    pub fn advance(&mut self, dep: &mut Deployment, delta_us: u64) -> HealReport {
+        let tick = self.dc.tick_events(delta_us);
+        for &d in &tick.crashed {
+            self.dead_devices.insert(d);
+        }
+        for &d in &tick.repaired {
+            self.dead_devices.remove(&d);
+        }
+        let now = self.dc.clock().now();
+        let mut report = HealReport {
+            crashed_devices: tick.crashed.clone(),
+            repaired_devices: tick.repaired.clone(),
+            ..Default::default()
+        };
+
+        // Evict warm-pool instances pinned to freshly dead hardware.
+        for &d in &tick.crashed {
+            report.invalidated_warm += self.scheduler.warm_pool_mut().invalidate_device(d) as u64;
+        }
+        if report.invalidated_warm > 0 {
+            self.obs.incr(
+                "heal.warm_invalidated",
+                Labels::none(),
+                report.invalidated_warm,
+            );
+        }
+
+        // A module is impacted when any of its slices or replica
+        // devices sits on a dead device — or on one that crashed this
+        // interval, even if a same-tick repair already brought the
+        // (now empty) device back.
+        let mut lost: BTreeSet<DeviceId> = self.dead_devices.clone();
+        lost.extend(tick.crashed.iter().copied());
+        let impacted: Vec<ModuleId> = dep
+            .placement
+            .modules
+            .iter()
+            .filter(|(id, _)| dep.health.module(id) == ModuleHealth::Healthy)
+            .filter(|(_, p)| {
+                p.allocations
+                    .iter()
+                    .flat_map(|a| a.slices.iter())
+                    .any(|s| lost.contains(&s.device))
+                    || p.replica_devices.iter().any(|d| lost.contains(d))
+            })
+            .map(|(id, _)| id.clone())
+            .collect();
+
+        let reheal: Vec<ModuleId> = if tick.repaired.is_empty() {
+            Vec::new()
+        } else {
+            dep.health.degraded_modules()
+        };
+        if impacted.is_empty() && reheal.is_empty() && dep.health.due_repairs(now).is_empty() {
+            return report;
+        }
+
+        // Something to do: mint one trace for the whole repair round.
+        let root = self.obs.trace_root("cloud.heal");
+        let ctx = root.ctx();
+
+        // detect + evict.
+        if !impacted.is_empty() {
+            let dspan = self.obs.span_opt(ctx.as_ref(), "heal.detect");
+            let dctx = dspan.ctx().or(ctx);
+            for id in &impacted {
+                let (dead_here, allocations): (Vec<DeviceId>, Vec<_>) = {
+                    let p = &dep.placement.modules[id];
+                    let mut dead: BTreeSet<DeviceId> = p
+                        .allocations
+                        .iter()
+                        .flat_map(|a| a.slices.iter().map(|s| s.device))
+                        .filter(|d| lost.contains(d))
+                        .collect();
+                    dead.extend(p.replica_devices.iter().filter(|d| lost.contains(d)));
+                    (dead.into_iter().collect(), p.allocations.clone())
+                };
+                if self.obs.is_enabled() {
+                    for d in &dead_here {
+                        self.obs.decide(Decision {
+                            ctx: dctx,
+                            stage: "heal.detect",
+                            module: id.as_str(),
+                            candidate: &format!("dev{}", d.0),
+                            accepted: false,
+                            reason: ReasonCode::Evicted,
+                            score: None,
+                            detail: "device crashed; allocation lost".to_string(),
+                        });
+                    }
+                }
+                // Evict: free every allocation. Slices on dead devices
+                // were already wiped by `Device::fail`, so release is a
+                // clamped no-op there; surviving slices return real
+                // capacity. The placement entry is cleared so a later
+                // teardown (or a second crash) can never double-free.
+                for a in &allocations {
+                    self.dc.release(a);
+                }
+                report.evicted_allocations += allocations.len() as u64;
+                self.obs.incr(
+                    "heal.evictions",
+                    Labels::module(self.tenant.as_str(), id.as_str()),
+                    allocations.len() as u64,
+                );
+                if let Some(p) = dep.placement.modules.get_mut(id) {
+                    p.allocations.clear();
+                }
+                // The isolate died with its device: retire the handle.
+                if let Some(env) = dep.environments.get_mut(id) {
+                    if env.is_running() {
+                        env.stop();
+                    }
+                }
+                dep.health.mark_detected(id, now);
+                report.detected.push(id.clone());
+                self.obs.event(
+                    EventKind::Failure,
+                    Labels::module(self.tenant.as_str(), id.as_str()),
+                    &[
+                        ("action", FieldValue::from("detect")),
+                        ("dead_devices", FieldValue::from(dead_here.len())),
+                        ("evicted_allocations", FieldValue::from(allocations.len())),
+                    ],
+                );
+            }
+        }
+        for id in &reheal {
+            dep.health.mark_reheal(id, now);
+        }
+
+        // re-place + re-launch + recover every due module, in id order.
+        for id in dep.health.due_repairs(now) {
+            self.repair_module(dep, &id, now, ctx, &mut report);
+        }
+        report
+    }
+
+    /// One re-place → re-launch → recover pass for `id`.
+    fn repair_module(
+        &mut self,
+        dep: &mut Deployment,
+        id: &ModuleId,
+        now: Micros,
+        ctx: Option<udc_telemetry::TraceCtx>,
+        report: &mut HealReport,
+    ) {
+        let rspan = self.obs.span_opt(ctx.as_ref(), "heal.replace");
+        let rctx = rspan.ctx().or(ctx);
+
+        // Exclude every dead device, plus — failure-domain independence
+        // — devices hosting modules of *other* explicit failure domains:
+        // distinct domains must fail independently, so a healing module
+        // never lands on hardware another domain already occupies.
+        let mut exclude: BTreeSet<DeviceId> = self.dead_devices.clone();
+        if let Some(my_domain) = dep
+            .ir
+            .app
+            .module(id)
+            .and_then(|m| m.dist.failure_domain.as_ref())
+        {
+            for (oid, op) in &dep.placement.modules {
+                if oid == id {
+                    continue;
+                }
+                let other = dep
+                    .ir
+                    .app
+                    .module(oid)
+                    .and_then(|m| m.dist.failure_domain.as_ref());
+                if other.is_some_and(|d| d != my_domain) {
+                    exclude.extend(op.replica_devices.iter().copied());
+                }
+            }
+        }
+        let exclude: Vec<DeviceId> = exclude.into_iter().collect();
+
+        match self.scheduler.replace_module(
+            &mut self.dc,
+            &dep.ir.app,
+            id,
+            &dep.placement,
+            &exclude,
+            rctx,
+        ) {
+            Ok(placed) => {
+                // Re-launch: a crashed environment cannot restart — mint
+                // a fresh instance measured against the same identity.
+                let device_key = self
+                    .device_keys
+                    .get(&placed.primary_device)
+                    .copied()
+                    .unwrap_or([0u8; 32]);
+                let m_ir = dep.ir.module(id).expect("module exists in ir");
+                let mut env =
+                    Environment::new(InstanceId(self.next_instance), placed.env, device_key);
+                self.next_instance += 1;
+                let identity = format!("{}@{}", id, m_ir.identity_hex());
+                {
+                    let _launch = self.obs.span_opt(rctx.as_ref(), "isolate.launch");
+                    env.start(placed.start_mode == StartMode::Warm, &identity);
+                }
+                dep.environments.insert(id.clone(), env);
+
+                // Rebuild the module's vertical bundle over the new units.
+                if let Some(obj) = dep.objects.iter_mut().find(|o| &o.module == id) {
+                    obj.units = placed
+                        .replica_devices
+                        .iter()
+                        .map(|&device| {
+                            let unit = crate::bundle::ResourceUnit {
+                                id: self.next_unit,
+                                device,
+                                kind: placed.placed_kind,
+                                units: placed
+                                    .allocations
+                                    .first()
+                                    .map(|a| a.total_units())
+                                    .unwrap_or(0),
+                                env: placed.env,
+                                endpoint: format!("{}#{}", id, self.next_unit),
+                            };
+                            self.next_unit += 1;
+                            unit
+                        })
+                        .collect();
+                }
+                let new_device = placed.primary_device;
+                dep.placement.modules.insert(id.clone(), placed);
+
+                // Recover state with the module's spec'd strategy.
+                let strategy = match dep
+                    .ir
+                    .app
+                    .module(id)
+                    .and_then(|m| m.dist.failure)
+                    .unwrap_or_default()
+                {
+                    FailureHandling::Reexecute => RecoveryStrategy::Reexecute,
+                    FailureHandling::Checkpoint { .. } => RecoveryStrategy::FromCheckpoint,
+                };
+                let recovery = {
+                    let _rec = self.obs.span_opt(rctx.as_ref(), "heal.recover");
+                    dep.recovery.recover_module(id, strategy)
+                };
+                let recovery_us = recovery
+                    .as_ref()
+                    .map(|o| {
+                        let restore = if o.strategy == RecoveryStrategy::FromCheckpoint {
+                            RESTORE_COST_US
+                        } else {
+                            0
+                        };
+                        o.replayed as u64 * MSG_COST_US + restore
+                    })
+                    .unwrap_or(0);
+                if let Some(o) = &recovery {
+                    self.obs.incr(
+                        "heal.replayed_messages",
+                        Labels::module(self.tenant.as_str(), id.as_str()),
+                        o.replayed as u64,
+                    );
+                }
+
+                let (attempts, detected_us) = dep.health.repair_complete(id);
+                let mttr_us = now.saturating_sub(detected_us) + recovery_us;
+                self.obs.observe("heal.mttr_us", Labels::none(), mttr_us);
+                self.obs.incr("heal.repairs", Labels::none(), 1);
+                self.obs.event(
+                    EventKind::Failure,
+                    Labels::module(self.tenant.as_str(), id.as_str()),
+                    &[
+                        ("action", FieldValue::from("healed")),
+                        ("device", FieldValue::from(new_device.0)),
+                        ("attempts", FieldValue::from(attempts)),
+                        ("mttr_us", FieldValue::from(mttr_us)),
+                    ],
+                );
+                report.repaired.push(ModuleRepair {
+                    module: id.clone(),
+                    attempts,
+                    new_device,
+                    mttr_us,
+                    recovery,
+                });
+            }
+            Err(e) => {
+                let attempt = match dep.health.module(id) {
+                    ModuleHealth::Repairing { attempt, .. } => attempt + 1,
+                    _ => 1,
+                };
+                if attempt > dep.health.config.max_retries {
+                    dep.health.mark_degraded(id);
+                    self.obs.decide(Decision {
+                        ctx: rctx,
+                        stage: "heal.replace",
+                        module: id.as_str(),
+                        candidate: "-",
+                        accepted: false,
+                        reason: ReasonCode::Degraded,
+                        score: None,
+                        detail: format!("retries exhausted ({attempt}): {e}"),
+                    });
+                    self.obs.incr("heal.degraded", Labels::none(), 1);
+                    self.obs.event(
+                        EventKind::Failure,
+                        Labels::module(self.tenant.as_str(), id.as_str()),
+                        &[
+                            ("action", FieldValue::from("degraded")),
+                            ("attempts", FieldValue::from(attempt)),
+                        ],
+                    );
+                    report.degraded.push(id.clone());
+                } else {
+                    let delay = backoff_delay_us(&dep.health.config, id, attempt);
+                    dep.health.schedule_retry(id, attempt, now + delay);
+                    self.obs.incr("heal.retries", Labels::none(), 1);
+                    report.retried.push(id.clone());
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cloud::{CloudConfig, UdcCloud};
+    use udc_hal::{DatacenterConfig, FailureEvent, FailurePlan, PoolConfig};
+    use udc_spec::{DistributedAspect, ResourceAspect, ResourceKind, TaskSpec};
+
+    fn one_task_app(dist: Option<DistributedAspect>) -> AppSpec {
+        let mut app = AppSpec::new("heal-demo");
+        let mut t = TaskSpec::new("T")
+            .with_resource(ResourceAspect::default().with_demand(ResourceKind::Cpu, 2))
+            .with_work(100);
+        if let Some(d) = dist {
+            t = t.with_dist(d);
+        }
+        app.add_task(t);
+        app
+    }
+
+    fn crash(at_us: u64, device: DeviceId) -> FailureEvent {
+        FailureEvent {
+            at_us,
+            device,
+            crash: true,
+        }
+    }
+
+    fn repair(at_us: u64, device: DeviceId) -> FailureEvent {
+        FailureEvent {
+            at_us,
+            device,
+            crash: false,
+        }
+    }
+
+    #[test]
+    fn crash_detect_evict_replace_converges() {
+        let mut cloud = UdcCloud::new(CloudConfig::default());
+        cloud.enable_telemetry();
+        let mut dep = cloud.submit(&one_task_app(None)).unwrap();
+        let id = ModuleId::from("T");
+        let dead = dep.placement.modules[&id].primary_device;
+
+        cloud
+            .datacenter_mut()
+            .set_failure_plan(FailurePlan::from_events(vec![crash(5, dead)]));
+        let report = cloud.advance(&mut dep, 10);
+
+        assert_eq!(report.crashed_devices, vec![dead]);
+        assert_eq!(report.detected, vec![id.clone()]);
+        assert_eq!(report.repaired.len(), 1, "healed in the same interval");
+        let healed = &report.repaired[0];
+        assert_ne!(healed.new_device, dead, "must not heal onto the corpse");
+        assert!(dep.health.is_converged());
+
+        // No live allocation touches the dead device.
+        for p in dep.placement.modules.values() {
+            for a in &p.allocations {
+                assert!(a.slices.iter().all(|s| s.device != dead));
+            }
+        }
+        // The replacement environment is running and verifiable.
+        assert!(dep.environments[&id].is_running());
+        assert!(cloud.verify_deployment(&dep).all_fulfilled());
+        cloud.teardown(&mut dep);
+    }
+
+    #[test]
+    fn crash_excluded_candidate_is_audited_during_replacement() {
+        let mut cloud = UdcCloud::new(CloudConfig::default());
+        let tel = cloud.enable_telemetry();
+        let mut dep = cloud.submit(&one_task_app(None)).unwrap();
+        let id = ModuleId::from("T");
+        let dead = dep.placement.modules[&id].primary_device;
+
+        cloud
+            .datacenter_mut()
+            .set_failure_plan(FailurePlan::from_events(vec![crash(5, dead)]));
+        let report = cloud.advance(&mut dep, 10);
+        assert_eq!(report.repaired.len(), 1);
+
+        // The re-placement audit must show the corpse as a rejected
+        // candidate — `udc-trace --explain` depends on this record.
+        let snap = tel.snapshot();
+        let excluded: Vec<_> = snap
+            .decisions
+            .iter()
+            .filter(|d| d.reason == ReasonCode::CrashExcluded)
+            .collect();
+        assert!(
+            !excluded.is_empty(),
+            "expected a crash_excluded audit record for dev{}",
+            dead.0
+        );
+        assert!(excluded
+            .iter()
+            .any(|d| d.candidate == format!("dev{}", dead.0) && !d.accepted));
+        cloud.teardown(&mut dep);
+    }
+
+    #[test]
+    fn quiet_interval_is_a_noop() {
+        let mut cloud = UdcCloud::new(CloudConfig::default());
+        let mut dep = cloud.submit(&one_task_app(None)).unwrap();
+        let report = cloud.advance(&mut dep, 1_000);
+        assert!(report.is_quiet());
+        assert!(dep.health.is_converged());
+    }
+
+    #[test]
+    fn capacity_exhaustion_degrades_then_reheals_on_repair() {
+        // One CPU device: a crash leaves nowhere to heal to.
+        let mut cloud = UdcCloud::new(CloudConfig {
+            datacenter: DatacenterConfig {
+                pools: vec![
+                    PoolConfig {
+                        kind: ResourceKind::Cpu,
+                        devices: 1,
+                        capacity_per_device: 8,
+                    },
+                    PoolConfig {
+                        kind: ResourceKind::Dram,
+                        devices: 1,
+                        capacity_per_device: 4096,
+                    },
+                ],
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        cloud.enable_telemetry();
+        let mut dep = cloud.submit(&one_task_app(None)).unwrap();
+        dep.health.config.max_retries = 0; // degrade on the first failed attempt
+        let id = ModuleId::from("T");
+        let dead = dep.placement.modules[&id].primary_device;
+
+        cloud
+            .datacenter_mut()
+            .set_failure_plan(FailurePlan::from_events(vec![
+                crash(5, dead),
+                repair(1_000, dead),
+            ]));
+
+        let report = cloud.advance(&mut dep, 10);
+        assert_eq!(report.degraded, vec![id.clone()]);
+        assert_eq!(dep.health.degraded_modules(), vec![id.clone()]);
+        assert!(!dep.health.is_converged());
+
+        // Capacity returns: the degraded module re-heals automatically.
+        let report = cloud.advance(&mut dep, 2_000);
+        assert_eq!(report.repaired_devices, vec![dead]);
+        assert_eq!(report.repaired.len(), 1);
+        assert!(dep.health.is_converged());
+        // MTTR spans the whole degraded interval, not just the last try.
+        assert!(report.repaired[0].mttr_us >= 2_000);
+        cloud.teardown(&mut dep);
+    }
+
+    #[test]
+    fn recovery_restores_seeded_state_from_checkpoint() {
+        let app = one_task_app(Some(
+            DistributedAspect::default().failure(FailureHandling::Checkpoint { interval_ms: 10 }),
+        ));
+        let mut cloud = UdcCloud::new(CloudConfig::default());
+        cloud.enable_telemetry();
+        let mut dep = cloud.submit(&app).unwrap();
+        dep.recovery.seed_app(&app, 25);
+        let id = ModuleId::from("T");
+        let dead = dep.placement.modules[&id].primary_device;
+
+        cloud
+            .datacenter_mut()
+            .set_failure_plan(FailurePlan::from_events(vec![crash(5, dead)]));
+        let report = cloud.advance(&mut dep, 10);
+        let healed = &report.repaired[0];
+        let outcome = healed.recovery.as_ref().expect("state was seeded");
+        assert_eq!(outcome.strategy, RecoveryStrategy::FromCheckpoint);
+        // Checkpoint at message 20 of 25: only the suffix replays.
+        assert_eq!(outcome.replayed, 5);
+        assert_eq!(
+            dep.recovery.recovered_state(&id),
+            dep.recovery.expected_state(&id),
+            "recovered state must match pre-crash state"
+        );
+        // MTTR includes the modelled restore + replay cost.
+        assert!(healed.mttr_us >= RESTORE_COST_US + 5 * MSG_COST_US);
+        cloud.teardown(&mut dep);
+    }
+
+    #[test]
+    fn recovery_reexecutes_full_log_without_checkpoint() {
+        let app = one_task_app(None); // default failure handling: Reexecute
+        let mut cloud = UdcCloud::new(CloudConfig::default());
+        let mut dep = cloud.submit(&app).unwrap();
+        dep.recovery.seed_app(&app, 12);
+        let id = ModuleId::from("T");
+        let dead = dep.placement.modules[&id].primary_device;
+
+        cloud
+            .datacenter_mut()
+            .set_failure_plan(FailurePlan::from_events(vec![crash(1, dead)]));
+        let report = cloud.advance(&mut dep, 10);
+        let outcome = report.repaired[0].recovery.as_ref().unwrap();
+        assert_eq!(outcome.strategy, RecoveryStrategy::Reexecute);
+        assert_eq!(outcome.replayed, 12);
+        assert_eq!(
+            dep.recovery.recovered_state(&id),
+            dep.recovery.expected_state(&id)
+        );
+    }
+
+    #[test]
+    fn failure_domains_stay_disjoint_through_healing() {
+        let mut app = AppSpec::new("domains");
+        app.add_task(
+            TaskSpec::new("A")
+                .with_resource(ResourceAspect::default().with_demand(ResourceKind::Cpu, 2))
+                .with_dist(DistributedAspect::default().failure_domain("east")),
+        );
+        app.add_task(
+            TaskSpec::new("B")
+                .with_resource(ResourceAspect::default().with_demand(ResourceKind::Cpu, 2))
+                .with_dist(DistributedAspect::default().failure_domain("west")),
+        );
+        let mut cloud = UdcCloud::new(CloudConfig::default());
+        cloud.enable_telemetry();
+        let mut dep = cloud.submit(&app).unwrap();
+        let a = ModuleId::from("A");
+        let b = ModuleId::from("B");
+        let dead = dep.placement.modules[&a].primary_device;
+
+        cloud
+            .datacenter_mut()
+            .set_failure_plan(FailurePlan::from_events(vec![crash(5, dead)]));
+        let report = cloud.advance(&mut dep, 10);
+        // The scheduler may have co-placed both tasks on the crashed
+        // device, in which case both heal; either way the loop must
+        // converge with the domains on disjoint hardware.
+        assert!(report.detected.contains(&a));
+        assert!(dep.health.is_converged());
+        let a_dev = dep.placement.modules[&a].primary_device;
+        let b_devs = &dep.placement.modules[&b].replica_devices;
+        assert!(
+            !b_devs.contains(&a_dev),
+            "east must not heal onto west's hardware ({a_dev})"
+        );
+        cloud.teardown(&mut dep);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_exponential_and_capped() {
+        let cfg = HealConfig::default();
+        let id = ModuleId::from("T");
+        let d1 = backoff_delay_us(&cfg, &id, 1);
+        assert_eq!(d1, backoff_delay_us(&cfg, &id, 1), "same seed, same delay");
+        // Raw doubling with jitter < raw/4 + 1 keeps attempts ordered.
+        for attempt in 1..12u32 {
+            let d = backoff_delay_us(&cfg, &id, attempt);
+            let raw = (cfg.base_backoff_us << (attempt - 1).min(32)).min(cfg.max_backoff_us);
+            assert!(d >= raw && d <= raw + raw / 4 + 1, "attempt {attempt}: {d}");
+        }
+        // Different modules jitter differently (herd avoidance).
+        let other = ModuleId::from("U");
+        assert_ne!(
+            backoff_delay_us(&cfg, &id, 3),
+            backoff_delay_us(&cfg, &other, 3)
+        );
+    }
+
+    #[test]
+    fn heal_telemetry_counters_and_mttr_are_exported() {
+        let mut cloud = UdcCloud::new(CloudConfig::default());
+        let obs = cloud.enable_telemetry();
+        let mut dep = cloud.submit(&one_task_app(None)).unwrap();
+        dep.recovery.seed_app(&one_task_app(None), 8);
+        let id = ModuleId::from("T");
+        let dead = dep.placement.modules[&id].primary_device;
+        cloud
+            .datacenter_mut()
+            .set_failure_plan(FailurePlan::from_events(vec![crash(5, dead)]));
+        cloud.advance(&mut dep, 10);
+
+        let snap = obs.snapshot();
+        let json = snap.to_json();
+        assert!(json.contains("heal.repairs"));
+        assert!(json.contains("heal.mttr_us"));
+        assert!(json.contains("heal.evictions"));
+        assert!(json.contains("heal.replayed_messages"));
+        assert_eq!(obs.counter("heal.repairs", &Labels::none()), 1);
+    }
+}

@@ -25,6 +25,7 @@ pub mod billing;
 pub mod bundle;
 pub mod cloud;
 pub mod dryrun;
+pub mod heal;
 pub mod ir;
 pub mod verify;
 
@@ -32,6 +33,7 @@ pub use billing::{BillingModel, CostBreakdown};
 pub use bundle::{HighLevelObject, ResourceUnit};
 pub use cloud::{CloudConfig, CloudError, Deployment, RunReport, UdcCloud};
 pub use dryrun::{dry_run, TaskProfile, TrialResult};
+pub use heal::{HealConfig, HealReport, HealthState, ModuleHealth, ModuleRepair, RecoveryModel};
 pub use ir::{AppIr, ModuleIr};
 pub use verify::{
     check_quote, policy_for_module, BillingCheck, BillingReconciliation, ModuleVerification,

@@ -1,0 +1,196 @@
+//! Property-based tests for the self-healing loop: whatever the app
+//! shape and whatever the (seeded) failure schedule, driving
+//! [`UdcCloud::advance`] through the whole schedule leaves every
+//! healthy module's allocations on alive devices, ends converged or
+//! explicitly degraded, and keeps the deployment verifiable.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+use udc_core::{CloudConfig, ModuleHealth, UdcCloud};
+use udc_hal::{DatacenterConfig, DeviceId, FailurePlan, PoolConfig};
+use udc_spec::prelude::*;
+
+const HORIZON_US: u64 = 1_000_000;
+const STEP_US: u64 = 250_000;
+
+/// A deliberately tight datacenter so high crash rates can exhaust
+/// capacity and exercise the degraded path, not just clean repairs.
+fn small_dc_config() -> DatacenterConfig {
+    DatacenterConfig {
+        pools: vec![
+            PoolConfig {
+                kind: ResourceKind::Cpu,
+                devices: 6,
+                capacity_per_device: 8,
+            },
+            PoolConfig {
+                kind: ResourceKind::Dram,
+                devices: 4,
+                capacity_per_device: 64 * 1024,
+            },
+            PoolConfig {
+                kind: ResourceKind::Ssd,
+                devices: 4,
+                capacity_per_device: 1024 * 1024,
+            },
+        ],
+        ..Default::default()
+    }
+}
+
+#[derive(Debug, Clone)]
+struct GenModule {
+    is_data: bool,
+    cpu: u64,
+    bytes: u64,
+    replication: u32,
+    handling: Option<FailureHandling>,
+}
+
+fn arb_module() -> impl Strategy<Value = GenModule> {
+    (
+        any::<bool>(),
+        1u64..4,
+        1u64..(8 << 20),
+        1u32..3,
+        prop_oneof![
+            Just(None),
+            Just(Some(FailureHandling::Reexecute)),
+            Just(Some(FailureHandling::Checkpoint { interval_ms: 10 })),
+        ],
+    )
+        .prop_map(|(is_data, cpu, bytes, replication, handling)| GenModule {
+            is_data,
+            cpu,
+            bytes,
+            replication,
+            handling,
+        })
+}
+
+fn build_app(mods: &[GenModule]) -> AppSpec {
+    let mut app = AppSpec::new("gen-heal");
+    for (i, g) in mods.iter().enumerate() {
+        let name = format!("M{i}");
+        let mut dist = DistributedAspect::default();
+        if let Some(h) = g.handling {
+            dist = dist.failure(h);
+        }
+        if g.is_data {
+            app.add_data(
+                DataSpec::new(&name)
+                    .with_bytes(g.bytes)
+                    .with_dist(dist.replication(g.replication)),
+            );
+        } else {
+            app.add_task(
+                TaskSpec::new(&name)
+                    .with_resource(ResourceAspect::default().with_demand(ResourceKind::Cpu, g.cpu))
+                    .with_work(10)
+                    .with_dist(dist),
+            );
+        }
+    }
+    app
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random app x random failure plan: after the full schedule has
+    /// fired and the repair loop has drained, no healthy module holds
+    /// an allocation on a dead device, the health state is either
+    /// converged or explicitly degraded, and a converged deployment
+    /// still passes full verification.
+    #[test]
+    fn healing_never_leaves_allocations_on_dead_devices(
+        mods in prop::collection::vec(arb_module(), 1..6),
+        crash_prob in 0.05f64..0.5,
+        repair_delay_us in 1_000u64..2_000_000,
+        seed in 0u64..1_000,
+    ) {
+        let app = build_app(&mods);
+        prop_assume!(app.validate().is_ok());
+        let mut cloud = UdcCloud::new(CloudConfig {
+            datacenter: small_dc_config(),
+            ..Default::default()
+        });
+        cloud.enable_telemetry();
+        let Ok(mut dep) = cloud.submit(&app) else {
+            // The tight datacenter cannot place every generated app;
+            // healing is only defined over deployed apps.
+            return Ok(());
+        };
+
+        let t0 = cloud.datacenter().clock().now();
+        let devices = cloud.datacenter().device_ids();
+        cloud.datacenter_mut().set_failure_plan(
+            FailurePlan::random(&devices, crash_prob, HORIZON_US, repair_delay_us, seed)
+                .shifted(t0),
+        );
+
+        let mut dead: BTreeSet<DeviceId> = BTreeSet::new();
+        let deadline = HORIZON_US + repair_delay_us + 12_000_000;
+        let mut elapsed = 0u64;
+        while elapsed < deadline {
+            let report = cloud.advance(&mut dep, STEP_US);
+            elapsed += STEP_US;
+            dead.extend(report.crashed_devices.iter().copied());
+            for d in &report.repaired_devices {
+                dead.remove(d);
+            }
+
+            // Interval invariant: healthy modules live on live hardware.
+            for (id, p) in &dep.placement.modules {
+                match dep.health.module(id) {
+                    ModuleHealth::Healthy => {
+                        prop_assert!(
+                            !p.allocations.is_empty(),
+                            "healthy module {id} lost its allocations"
+                        );
+                        for a in &p.allocations {
+                            for s in &a.slices {
+                                prop_assert!(
+                                    !dead.contains(&s.device),
+                                    "healthy module {id} holds dev{} which is dead",
+                                    s.device.0
+                                );
+                            }
+                        }
+                    }
+                    // Evicted (repairing or degraded) modules must hold
+                    // nothing: eviction precedes re-placement.
+                    _ => prop_assert!(
+                        p.allocations.is_empty(),
+                        "evicted module {id} still holds allocations"
+                    ),
+                }
+            }
+
+            if elapsed > HORIZON_US + repair_delay_us
+                && report.is_quiet()
+                && dep.health.repairing_modules().is_empty()
+            {
+                break;
+            }
+        }
+        prop_assert!(dead.is_empty(), "plan must repair every crashed device");
+
+        // Terminal invariant: converged, or explicitly degraded.
+        let degraded = dep.health.degraded_modules();
+        prop_assert!(dep.health.repairing_modules().is_empty(), "repair still in flight");
+        prop_assert!(
+            dep.health.is_converged() || !degraded.is_empty(),
+            "neither converged nor degraded"
+        );
+        if dep.health.is_converged() {
+            let verification = cloud.verify_deployment(&dep);
+            prop_assert!(
+                verification.all_fulfilled(),
+                "post-heal verification failed"
+            );
+        }
+        cloud.teardown(&mut dep);
+    }
+}

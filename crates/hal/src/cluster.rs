@@ -91,6 +91,23 @@ impl Default for DatacenterConfig {
     }
 }
 
+/// Devices whose state changed during one [`Datacenter::tick_events`]
+/// interval, in event order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TickReport {
+    /// Devices that crashed (allocations and isolates on them are lost).
+    pub crashed: Vec<DeviceId>,
+    /// Devices that came back healthy (capacity returned to the pool).
+    pub repaired: Vec<DeviceId>,
+}
+
+impl TickReport {
+    /// True when no failure event fired in the interval.
+    pub fn is_empty(&self) -> bool {
+        self.crashed.is_empty() && self.repaired.is_empty()
+    }
+}
+
 /// A simulated disaggregated datacenter.
 #[derive(Debug)]
 pub struct Datacenter {
@@ -216,8 +233,16 @@ impl Datacenter {
     /// that become due. Returns the device ids that crashed during the
     /// interval (for the runtime to trigger recovery, §3.4).
     pub fn tick(&mut self, delta_us: u64) -> Vec<DeviceId> {
+        self.tick_events(delta_us).crashed
+    }
+
+    /// Like [`Datacenter::tick`], but reports repairs as well as
+    /// crashes. The repair loop needs both: crashes start repairs,
+    /// repairs returning capacity re-heal `Degraded` deployments.
+    pub fn tick_events(&mut self, delta_us: u64) -> TickReport {
         let now = self.clock.advance(delta_us);
         let mut crashed = Vec::new();
+        let mut repaired = Vec::new();
         for ev in self.failure_plan.due(now) {
             for pool in self.pools.values_mut() {
                 if let Some(mut d) = pool.device_mut(ev.device) {
@@ -245,11 +270,12 @@ impl Datacenter {
                                 ("action", FieldValue::from("repair")),
                             ],
                         );
+                        repaired.push(ev.device);
                     }
                 }
             }
         }
-        crashed
+        TickReport { crashed, repaired }
     }
 
     /// Allocates a multi-kind resource vector for `tenant`: each

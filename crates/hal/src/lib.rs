@@ -36,7 +36,7 @@ pub mod pool;
 pub mod telemetry;
 
 pub use clock::SimClock;
-pub use cluster::{Datacenter, DatacenterConfig, PoolConfig};
+pub use cluster::{Datacenter, DatacenterConfig, PoolConfig, TickReport};
 pub use device::{Device, DeviceId, DeviceState, PerfProfile};
 pub use fabric::{Fabric, FabricConfig, Location};
 pub use failure::{FailureEvent, FailurePlan};

@@ -10,6 +10,7 @@
 use crate::env::EnvKind;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use udc_hal::DeviceId;
 use udc_telemetry::{EventKind, FieldValue, Labels, Telemetry, TraceCtx};
 
 /// Warm-pool sizing per environment class.
@@ -64,11 +65,34 @@ impl WarmPoolStats {
     }
 }
 
+/// One pre-started instance waiting in the pool. An instance may be
+/// pinned to the device it was booted on; unpinned instances are
+/// provider-global (migratable) and survive any device crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WarmInstance {
+    /// Device hosting the pre-started instance, when pinned.
+    pub device: Option<DeviceId>,
+}
+
+/// Outcome of a warm-pool acquisition, including where the instance
+/// came from (callers that care about placement, e.g. the repair loop's
+/// crash-safety property, inspect `device`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WarmAcquire {
+    /// Startup latency paid: warm on hit, cold on miss.
+    pub latency_us: u64,
+    /// Whether a pooled instance was used.
+    pub warm: bool,
+    /// Device the pooled instance was pinned to (`None` for unpinned
+    /// instances and for cold starts).
+    pub device: Option<DeviceId>,
+}
+
 /// A warm pool across all environment classes.
 #[derive(Debug, Clone)]
 pub struct WarmPool {
     config: WarmPoolConfig,
-    ready: BTreeMap<EnvKind, usize>,
+    ready: BTreeMap<EnvKind, Vec<WarmInstance>>,
     stats: WarmPoolStats,
     /// Observability hub (disabled no-op by default).
     obs: Telemetry,
@@ -76,10 +100,14 @@ pub struct WarmPool {
 
 impl WarmPool {
     /// Creates a pool filled to its targets (the provider pre-warms at
-    /// deployment time).
+    /// deployment time). Pre-warmed instances start unpinned.
     pub fn new(config: WarmPoolConfig) -> Self {
-        let ready = config.target_per_kind.clone();
-        let prewarmed: u64 = ready.values().map(|&n| n as u64).sum();
+        let ready: BTreeMap<EnvKind, Vec<WarmInstance>> = config
+            .target_per_kind
+            .iter()
+            .map(|(&k, &n)| (k, vec![WarmInstance { device: None }; n]))
+            .collect();
+        let prewarmed: u64 = ready.values().map(|v| v.len() as u64).sum();
         Self {
             config,
             ready,
@@ -113,15 +141,26 @@ impl WarmPool {
     /// Attempts to draw a warm instance of `kind`. Returns the startup
     /// latency: warm on hit, cold on miss.
     pub fn acquire(&mut self, kind: EnvKind) -> u64 {
+        self.acquire_detailed(kind).latency_us
+    }
+
+    /// Like [`WarmPool::acquire`], but reports which device (if any)
+    /// the pooled instance was pinned to. Oldest instances are drawn
+    /// first (FIFO), so draw order is deterministic.
+    pub fn acquire_detailed(&mut self, kind: EnvKind) -> WarmAcquire {
         let m = kind.cost_model();
         match self.ready.get_mut(&kind) {
-            Some(n) if *n > 0 => {
-                *n -= 1;
+            Some(v) if !v.is_empty() => {
+                let inst = v.remove(0);
                 self.stats.hits += 1;
                 self.obs.incr("isolate.warmpool.hits", Labels::none(), 1);
                 self.obs
                     .observe("isolate.warm_start_us", Labels::none(), m.warm_start_us);
-                m.warm_start_us
+                WarmAcquire {
+                    latency_us: m.warm_start_us,
+                    warm: true,
+                    device: inst.device,
+                }
             }
             _ => {
                 self.stats.misses += 1;
@@ -136,22 +175,58 @@ impl WarmPool {
                         ("latency_us", FieldValue::from(m.cold_start_us)),
                     ],
                 );
-                m.cold_start_us
+                WarmAcquire {
+                    latency_us: m.cold_start_us,
+                    warm: false,
+                    device: None,
+                }
             }
         }
     }
 
-    /// Refills the pool toward its targets, returning the number of
-    /// instances pre-started (background provider work, charged to the
-    /// provider not the tenant).
+    /// Adds one pre-started instance of `kind` pinned to `device` (the
+    /// provider pre-warmed on specific hardware). Pinned instances are
+    /// dropped by [`WarmPool::invalidate_device`] when that device
+    /// crashes.
+    pub fn prewarm_on(&mut self, kind: EnvKind, device: DeviceId) {
+        self.ready.entry(kind).or_default().push(WarmInstance {
+            device: Some(device),
+        });
+        self.stats.prewarmed += 1;
+    }
+
+    /// Drops every cached instance pinned to `device` (it crashed: the
+    /// pre-started isolates on it are gone). Returns how many instances
+    /// were invalidated. Unpinned instances are unaffected.
+    pub fn invalidate_device(&mut self, device: DeviceId) -> usize {
+        let mut dropped = 0;
+        for v in self.ready.values_mut() {
+            let before = v.len();
+            v.retain(|i| i.device != Some(device));
+            dropped += before - v.len();
+        }
+        if dropped > 0 {
+            self.obs.incr(
+                "isolate.warmpool.invalidated",
+                Labels::none(),
+                dropped as u64,
+            );
+        }
+        dropped
+    }
+
+    /// Refills the pool toward its targets with unpinned instances,
+    /// returning the number pre-started (background provider work,
+    /// charged to the provider not the tenant).
     pub fn refill(&mut self) -> usize {
         let mut started = 0;
         for (&kind, &target) in &self.config.target_per_kind {
-            let cur = self.ready.entry(kind).or_insert(0);
-            if *cur < target {
-                started += target - *cur;
-                self.stats.prewarmed += (target - *cur) as u64;
-                *cur = target;
+            let cur = self.ready.entry(kind).or_default();
+            if cur.len() < target {
+                let add = target - cur.len();
+                started += add;
+                self.stats.prewarmed += add as u64;
+                cur.extend(std::iter::repeat_n(WarmInstance { device: None }, add));
             }
         }
         started
@@ -159,7 +234,7 @@ impl WarmPool {
 
     /// Instances ready for `kind` right now.
     pub fn ready(&self, kind: EnvKind) -> usize {
-        self.ready.get(&kind).copied().unwrap_or(0)
+        self.ready.get(&kind).map(|v| v.len()).unwrap_or(0)
     }
 
     /// Statistics so far.
@@ -235,6 +310,41 @@ mod tests {
         let events = obs.snapshot().events;
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].kind, EventKind::ColdStart);
+    }
+
+    #[test]
+    fn invalidate_device_drops_pinned_instances() {
+        let mut p = WarmPool::new(WarmPoolConfig::disabled());
+        p.prewarm_on(EnvKind::Container, DeviceId(7));
+        p.prewarm_on(EnvKind::Container, DeviceId(7));
+        p.prewarm_on(EnvKind::Container, DeviceId(9));
+        p.prewarm_on(EnvKind::Unikernel, DeviceId(7));
+        assert_eq!(p.ready(EnvKind::Container), 3);
+
+        // Device 7 crashes: its pinned instances vanish, device 9's stays.
+        assert_eq!(p.invalidate_device(DeviceId(7)), 3);
+        assert_eq!(p.ready(EnvKind::Container), 1);
+        assert_eq!(p.ready(EnvKind::Unikernel), 0);
+
+        // A post-crash acquire never hands back an instance from the
+        // crashed device.
+        let got = p.acquire_detailed(EnvKind::Container);
+        assert!(got.warm);
+        assert_eq!(got.device, Some(DeviceId(9)));
+        let next = p.acquire_detailed(EnvKind::Container);
+        assert!(!next.warm, "pool drained: cold start, not a dead instance");
+        assert_eq!(next.device, None);
+        assert_ne!(got.device, Some(DeviceId(7)));
+    }
+
+    #[test]
+    fn invalidate_device_spares_unpinned() {
+        let mut p = WarmPool::new(WarmPoolConfig::disabled().with(EnvKind::Container, 2));
+        assert_eq!(p.invalidate_device(DeviceId(0)), 0);
+        assert_eq!(p.ready(EnvKind::Container), 2);
+        let got = p.acquire_detailed(EnvKind::Container);
+        assert!(got.warm);
+        assert_eq!(got.device, None);
     }
 
     #[test]

@@ -350,9 +350,9 @@ impl Scheduler {
             let mspan = self.obs.span_opt(pctx.as_ref(), "sched.place_module");
             let mctx = mspan.ctx().or(pctx);
             let placed = match module.kind {
-                ModuleKind::Data => self.place_data(dc, &app, module, &placement, mctx)?,
+                ModuleKind::Data => self.place_data(dc, &app, module, &placement, &[], mctx)?,
                 ModuleKind::Task => {
-                    self.place_task(dc, &app, module, &placement, &colocate_rack, mctx)?
+                    self.place_task(dc, &app, module, &placement, &colocate_rack, &[], mctx)?
                 }
             };
             mspan.exit();
@@ -392,6 +392,53 @@ impl Scheduler {
             dc.observe_pool_levels();
         }
         Ok(placement)
+    }
+
+    /// Re-places a single module of an already-resolved app — the
+    /// repair loop's *re-place* step (§3.4). `exclude` lists devices
+    /// that must not host the module (typically the currently-crashed
+    /// set): excluded candidates are rejected with
+    /// [`ReasonCode::CrashExcluded`] audit records, and replica
+    /// anti-affinity applies exactly as in the original placement, so a
+    /// module never heals onto the failure domain it must avoid.
+    ///
+    /// `so_far` is the surviving placement (used for locality hints);
+    /// `app` must already be conflict-resolved (e.g. the spec inside a
+    /// compiled `AppIr`).
+    pub fn replace_module(
+        &mut self,
+        dc: &mut Datacenter,
+        app: &AppSpec,
+        module_id: &ModuleId,
+        so_far: &AppPlacement,
+        exclude: &[DeviceId],
+        ctx: Option<TraceCtx>,
+    ) -> Result<ModulePlacement, SchedError> {
+        let module = app
+            .module(module_id)
+            .ok_or_else(|| SchedError::Spec(SpecError::UnknownModule(module_id.to_string())))?;
+        let span = self.obs.span_opt(ctx.as_ref(), "sched.replace_module");
+        let mctx = span.ctx().or(ctx);
+        let colocate_rack = self.colocation_racks(app);
+        let placed = match module.kind {
+            ModuleKind::Data => self.place_data(dc, app, module, so_far, exclude, mctx),
+            ModuleKind::Task => {
+                self.place_task(dc, app, module, so_far, &colocate_rack, exclude, mctx)
+            }
+        }?;
+        if self.obs.is_enabled() {
+            self.obs.event(
+                EventKind::Placement,
+                Labels::module(self.options.tenant.as_str(), module_id.as_str()),
+                &[
+                    ("device", FieldValue::from(placed.primary_device.0)),
+                    ("kind", FieldValue::from(placed.placed_kind.name())),
+                    ("action", FieldValue::from("replace")),
+                    ("excluded_devices", FieldValue::from(exclude.len())),
+                ],
+            );
+        }
+        Ok(placed)
     }
 
     /// Releases every allocation of a placement.
@@ -498,6 +545,7 @@ impl Scheduler {
         _app: &AppSpec,
         module: &udc_spec::ModuleSpec,
         _so_far: &AppPlacement,
+        exclude: &[DeviceId],
         ctx: Option<TraceCtx>,
     ) -> Result<ModulePlacement, SchedError> {
         let kind = self.choose_storage_kind(dc, module);
@@ -512,9 +560,14 @@ impl Scheduler {
         let mut allocations = Vec::new();
         let mut replica_devices: Vec<DeviceId> = Vec::new();
         for _ in 0..replicas {
+            // Replica anti-affinity plus crash exclusion: a healing
+            // replica must avoid both its surviving siblings and every
+            // currently-dead device.
+            let mut avoid = replica_devices.clone();
+            avoid.extend_from_slice(exclude);
             let constraints = AllocConstraints {
                 single_device: true,
-                avoid: replica_devices.clone(),
+                avoid,
                 ..Default::default()
             };
             match dc
@@ -597,6 +650,7 @@ impl Scheduler {
         })
     }
 
+    #[allow(clippy::too_many_arguments)] // internal: placement context + crash-exclusion set
     fn place_task(
         &mut self,
         dc: &mut Datacenter,
@@ -604,6 +658,7 @@ impl Scheduler {
         module: &udc_spec::ModuleSpec,
         so_far: &AppPlacement,
         colocate_group: &BTreeMap<ModuleId, usize>,
+        exclude: &[DeviceId],
         ctx: Option<TraceCtx>,
     ) -> Result<ModulePlacement, SchedError> {
         let kind = self.choose_compute_kind(dc, module);
@@ -635,6 +690,9 @@ impl Scheduler {
         );
         let mut best: Option<(i64, DeviceId)> = None;
         for c in cands {
+            if exclude.contains(&c.device) {
+                continue;
+            }
             if let Some(score) = self.options.policy.score(c) {
                 if best.is_none_or(|(s, d)| score > s || (score == s && c.device < d)) {
                     best = Some((score, c.device));
@@ -643,14 +701,22 @@ impl Scheduler {
         }
         if self.obs.is_enabled() {
             // Audit pass: one decision record per candidate, classifying
-            // why each lost to the winner (capacity, locality, policy
-            // score). Runs only with an enabled hub — the scoring loop
-            // above stays allocation-free for the disabled hot path.
+            // why each lost to the winner (crash exclusion, capacity,
+            // locality, policy score). Runs only with an enabled hub —
+            // the scoring loop above stays allocation-free for the
+            // disabled hot path.
             for c in cands {
-                let score = self.options.policy.score(c);
+                let excluded = exclude.contains(&c.device);
+                let score = if excluded {
+                    None
+                } else {
+                    self.options.policy.score(c)
+                };
                 let accepted = score.is_some() && best.map(|(_, d)| d) == Some(c.device);
                 let reason = if accepted {
                     ReasonCode::Accepted
+                } else if excluded {
+                    ReasonCode::CrashExcluded
                 } else if score.is_none() {
                     ReasonCode::Policy
                 } else if c.free_units < c.demand {
@@ -662,6 +728,9 @@ impl Scheduler {
                 };
                 let detail = match reason {
                     ReasonCode::Accepted => format!("won with score {}", score.unwrap_or(0)),
+                    ReasonCode::CrashExcluded => {
+                        "device crashed; excluded from healing".to_string()
+                    }
                     ReasonCode::Policy if score.is_none() => "policy declined".to_string(),
                     ReasonCode::Capacity => {
                         format!("free={} needed={}", c.free_units, c.demand)
@@ -701,7 +770,7 @@ impl Scheduler {
             } else {
                 best.map(|(_, d)| d)
             },
-            avoid: Vec::new(),
+            avoid: exclude.to_vec(),
         };
         let pool = dc.pool_mut(kind).ok_or(SchedError::Alloc {
             module: module.id.to_string(),
@@ -729,7 +798,7 @@ impl Scheduler {
                     prefer_rack: preferred_rack,
                     single_device: true,
                     require_device: None,
-                    avoid: Vec::new(),
+                    avoid: exclude.to_vec(),
                 };
                 pool.allocate_traced(
                     obs,
@@ -756,6 +825,7 @@ impl Scheduler {
             }
             let mem_constraints = AllocConstraints {
                 prefer_rack: dc.fabric().rack_of(device),
+                avoid: exclude.to_vec(),
                 ..Default::default()
             };
             match dc
@@ -793,12 +863,14 @@ impl Scheduler {
         // domain can fail over.
         let mut replica_devices = vec![device];
         for _ in 1..module.dist.replication {
+            let mut avoid = replica_devices.clone();
+            avoid.extend_from_slice(exclude);
             let standby_constraints = AllocConstraints {
                 exclusive: env.single_tenant,
                 prefer_rack: preferred_rack,
                 single_device: true,
                 require_device: None,
-                avoid: replica_devices.clone(),
+                avoid,
             };
             match dc.pool_mut(kind).map(|p| {
                 p.allocate_traced(

@@ -34,9 +34,31 @@ pub enum ReasonCode {
     Exclusivity,
     /// Rejected to preserve failure independence (replica anti-affinity).
     FailureDomain,
+    /// Allocation lost to a device crash and freed by the repair loop.
+    Evicted,
+    /// Candidate excluded because its device is currently crashed.
+    CrashExcluded,
+    /// Re-placement capacity exhausted; the module entered degraded mode.
+    Degraded,
 }
 
 impl ReasonCode {
+    /// Every reason code, in declaration order. Exporters iterate this
+    /// so a newly added variant cannot be silently missed (see the
+    /// exhaustiveness test below).
+    pub const ALL: [ReasonCode; 10] = [
+        ReasonCode::Accepted,
+        ReasonCode::Capacity,
+        ReasonCode::Locality,
+        ReasonCode::Policy,
+        ReasonCode::Prune,
+        ReasonCode::Exclusivity,
+        ReasonCode::FailureDomain,
+        ReasonCode::Evicted,
+        ReasonCode::CrashExcluded,
+        ReasonCode::Degraded,
+    ];
+
     /// Stable lower-snake name used in JSON exports.
     pub fn as_str(&self) -> &'static str {
         match self {
@@ -47,7 +69,15 @@ impl ReasonCode {
             ReasonCode::Prune => "prune",
             ReasonCode::Exclusivity => "exclusivity",
             ReasonCode::FailureDomain => "failure_domain",
+            ReasonCode::Evicted => "evicted",
+            ReasonCode::CrashExcluded => "crash_excluded",
+            ReasonCode::Degraded => "degraded",
         }
+    }
+
+    /// Parses the stable export name back into a code.
+    pub fn from_str_name(name: &str) -> Option<ReasonCode> {
+        ReasonCode::ALL.iter().copied().find(|c| c.as_str() == name)
     }
 }
 
@@ -223,6 +253,39 @@ mod tests {
         assert_eq!(recs[1].seq, 1, "re-sequenced under dst counter");
         assert_eq!(recs[1].at_us, 9, "timestamp preserved");
         assert_eq!(recs[1].trace, Some(5), "trace id shifted");
+    }
+
+    #[test]
+    fn reason_codes_are_exhaustive_and_round_trip() {
+        // `ALL` must cover every variant exactly once. The match below
+        // fails to compile when a variant is added, forcing both `ALL`
+        // and `as_str` to be extended in the same change.
+        for code in ReasonCode::ALL {
+            match code {
+                ReasonCode::Accepted
+                | ReasonCode::Capacity
+                | ReasonCode::Locality
+                | ReasonCode::Policy
+                | ReasonCode::Prune
+                | ReasonCode::Exclusivity
+                | ReasonCode::FailureDomain
+                | ReasonCode::Evicted
+                | ReasonCode::CrashExcluded
+                | ReasonCode::Degraded => {}
+            }
+        }
+        // Names are unique and round-trip through the parser.
+        let mut seen = std::collections::BTreeSet::new();
+        for code in ReasonCode::ALL {
+            assert!(
+                seen.insert(code.as_str()),
+                "duplicate name {}",
+                code.as_str()
+            );
+            assert_eq!(ReasonCode::from_str_name(code.as_str()), Some(code));
+        }
+        assert_eq!(seen.len(), ReasonCode::ALL.len());
+        assert_eq!(ReasonCode::from_str_name("nonsense"), None);
     }
 
     #[test]
