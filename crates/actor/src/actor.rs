@@ -1,19 +1,27 @@
 //! The actor abstraction: one module, message-driven, no shared state.
 
 use bytes::Bytes;
-use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 use udc_telemetry::TraceCtx;
 
 /// Identifier of an actor (module instance) within a system.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
-#[serde(transparent)]
-pub struct ActorId(pub String);
+///
+/// Backed by a refcounted `Arc<String>` so the id travels through
+/// messages, logs, and checkpoints as a pointer bump instead of a heap
+/// copy — the hot delivery path clones ids once per outbox message. The
+/// thin (one-word) pointer keeps [`Message`] a single cache line;
+/// string content is only dereferenced at the by-id edges (spawn,
+/// lookup, ordering), never on the per-message path. Ordering,
+/// equality, and hashing all go by string content, so a rebuilt id
+/// compares equal to an interned one.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ActorId(Arc<String>);
 
 impl ActorId {
     /// Creates an id from any string-like value.
     pub fn new(s: impl Into<String>) -> Self {
-        Self(s.into())
+        Self(Arc::new(s.into()))
     }
 
     /// The id as a string slice.
@@ -31,6 +39,27 @@ impl fmt::Display for ActorId {
 impl From<&str> for ActorId {
     fn from(s: &str) -> Self {
         ActorId::new(s)
+    }
+}
+
+impl From<String> for ActorId {
+    fn from(s: String) -> Self {
+        ActorId::new(s)
+    }
+}
+
+// Serialized transparently as the underlying string, exactly like the
+// previous `String`-backed representation, so checkpoint and artifact
+// formats are unchanged.
+impl serde::Serialize for ActorId {
+    fn to_value(&self) -> serde::Value {
+        self.as_str().to_value()
+    }
+}
+
+impl serde::Deserialize for ActorId {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::de::Error> {
+        String::from_value(v).map(ActorId::new)
     }
 }
 
@@ -167,5 +196,24 @@ mod tests {
     #[test]
     fn actor_id_display() {
         assert_eq!(ActorId::new("A1").to_string(), "A1");
+    }
+
+    #[test]
+    fn actor_id_serde_is_transparent() {
+        use serde::{Deserialize, Serialize};
+        let id = ActorId::new("m7");
+        let v = id.to_value();
+        assert_eq!(v, serde::Value::String("m7".to_string()));
+        assert_eq!(ActorId::from_value(&v).unwrap(), id);
+    }
+
+    #[test]
+    fn actor_id_clone_is_cheap_and_content_ordered() {
+        let a = ActorId::new("alpha");
+        let b = a.clone();
+        assert_eq!(a, b);
+        // Content ordering, independent of allocation identity.
+        assert!(ActorId::new("a") < ActorId::new("b"));
+        assert_eq!(ActorId::new("alpha"), a);
     }
 }

@@ -13,21 +13,29 @@
 //!
 //! - [`actor::Actor`] — the module-behaviour trait (message in,
 //!   messages out, no shared state);
-//! - [`system::System`] — a deterministic single-threaded executor with
-//!   FIFO mailboxes, used by the simulator and experiments;
-//! - [`system::MessageLog`] — reliable message recording enabling
-//!   replay-based recovery (consumed by `udc-dist`);
+//! - [`system::System`] — the optimized deterministic single-threaded
+//!   executor: interned actor slots, an O(active) ready bitmap, and
+//!   lock-free telemetry handles on the per-message path;
+//! - [`naive::NaiveSystem`] — the seed executor, kept verbatim as the
+//!   observable-equivalence oracle (see `tests/prop_equiv.rs`);
+//! - [`log::MessageLog`] — reliable message recording enabling
+//!   replay-based recovery (consumed by `udc-dist`), with an indexed
+//!   replay suffix and checkpoint-driven truncation;
 //! - [`supervise::SupervisionPolicy`] — restart/drop/escalate handling
 //!   of actor failures;
 //! - [`parallel::ThreadPool`] — a crossbeam-based threaded executor for
 //!   CPU-bound batch workloads where determinism is not required.
 
 pub mod actor;
+pub mod log;
+pub mod naive;
 pub mod parallel;
 pub mod supervise;
 pub mod system;
 
 pub use actor::{Actor, ActorError, ActorId, Ctx, Message};
+pub use log::MessageLog;
+pub use naive::NaiveSystem;
 pub use parallel::ThreadPool;
 pub use supervise::SupervisionPolicy;
-pub use system::{MessageLog, System, SystemStats};
+pub use system::{ActorRef, System, SystemStats};

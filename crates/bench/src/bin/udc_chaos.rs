@@ -22,7 +22,14 @@
 //! udc-chaos --threads 8          # same artifact, faster
 //! udc-chaos --smoke              # small fixed sweep for CI
 //! udc-chaos --explain A2         # repair decision audit for a module
+//! udc-chaos --full-artifact      # dump the whole telemetry snapshot
 //! ```
+//!
+//! The default artifact is a *compact* per-trial summary distilled from
+//! the trial Measurement events (a few hundred lines); `--full-artifact`
+//! restores the complete hub snapshot — every span, decision, and metric
+//! series — for trace tooling like `udc-trace`. Both are byte-identical
+//! at any thread count.
 
 use std::collections::BTreeSet;
 
@@ -34,6 +41,8 @@ use udc_isolate::WarmPoolConfig;
 use udc_spec::FailureHandling;
 use udc_telemetry::{EventKind, FieldValue, Labels, ReasonCode, Telemetry};
 use udc_workload::medical_pipeline;
+
+use serde_json::{Number, Value};
 
 /// Crash window: every crash lands inside the first simulated second.
 const HORIZON_US: u64 = 1_000_000;
@@ -267,9 +276,103 @@ fn run_trial(trial: usize, combo: Combo) -> Telemetry {
     tel
 }
 
+/// Distills the sweep into the compact per-trial artifact: one object
+/// per trial Measurement event (in deterministic trial order) plus
+/// sweep totals and the absorbed MTTR summary. A 54-trial sweep exports
+/// a few hundred lines instead of the ~200k-line full snapshot. Trials
+/// are read from their private hubs, not the absorbed one, so the
+/// absorbed flight recorder's ring eviction can never drop a row.
+fn export_compact(smoke: bool, tel: &Telemetry, trial_hubs: &[Telemetry]) -> std::path::PathBuf {
+    fn field(v: &FieldValue) -> Value {
+        match v {
+            FieldValue::U64(u) => Value::Number(Number::U(*u)),
+            FieldValue::I64(i) => Value::Number(Number::I(*i)),
+            FieldValue::F64(f) => Value::Number(Number::F(*f)),
+            FieldValue::Str(s) => Value::String(s.clone()),
+            FieldValue::Bool(b) => Value::Bool(*b),
+        }
+    }
+    let mut trials = Vec::new();
+    let mut totals: Vec<(&str, u64)> = [
+        ("trials", 0),
+        ("converged", 0),
+        ("device_crashes", 0),
+        ("module_repairs", 0),
+        ("degraded_modules", 0),
+    ]
+    .to_vec();
+    for hub in trial_hubs {
+        let snap = hub.snapshot();
+        let e = snap
+            .events
+            .iter()
+            .rfind(|e| e.kind == EventKind::Measurement)
+            .expect("every trial records a Measurement event");
+        let mut obj = vec![(
+            "cell".to_string(),
+            Value::String(e.labels.tenant.clone().unwrap_or_default()),
+        )];
+        for (k, v) in &e.fields {
+            obj.push((k.clone(), field(v)));
+        }
+        for (name, total) in totals.iter_mut() {
+            match e.fields.iter().find(|(k, _)| k == name) {
+                Some((_, FieldValue::U64(u))) => *total += u,
+                Some((_, FieldValue::Bool(b))) => *total += *b as u64,
+                _ => *total += (*name == "trials") as u64,
+            }
+        }
+        trials.push(Value::Object(obj));
+    }
+    let mttr = tel
+        .histogram("heal.mttr_us", &Labels::none())
+        .map(|h| {
+            Value::Object(vec![
+                ("count".to_string(), Value::Number(Number::U(h.count))),
+                ("mean".to_string(), Value::Number(Number::F(h.mean))),
+                ("p50".to_string(), Value::Number(Number::U(h.p50))),
+                ("p95".to_string(), Value::Number(Number::U(h.p95))),
+                ("max".to_string(), Value::Number(Number::U(h.max))),
+            ])
+        })
+        .unwrap_or(Value::Null);
+    let doc = Value::Object(vec![
+        (
+            "schema".to_string(),
+            Value::String("udc.chaos.compact.v1".to_string()),
+        ),
+        (
+            "mode".to_string(),
+            Value::String(if smoke { "smoke" } else { "full" }.to_string()),
+        ),
+        (
+            "totals".to_string(),
+            Value::Object(
+                totals
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), Value::Number(Number::U(v))))
+                    .collect(),
+            ),
+        ),
+        ("mttr_us".to_string(), mttr),
+        ("trials".to_string(), Value::Array(trials)),
+    ]);
+    let path = udc_bench::results_path("udc_chaos.json");
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).expect("results dir");
+    }
+    let json = serde_json::to_string_pretty(&doc).expect("compact artifact renders");
+    std::fs::write(&path, json + "\n").expect("compact artifact writes");
+    eprintln!();
+    eprintln!("Compact chaos artifact: {}", path.display());
+    println!("{}", path.display());
+    path
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let full_artifact = args.iter().any(|a| a == "--full-artifact");
     let explain = args
         .iter()
         .position(|a| a == "--explain")
@@ -298,8 +401,9 @@ fn main() {
     );
 
     let tel = Telemetry::enabled();
-    for trial in fan_out(threads, combos.len(), |i| run_trial(i, combos[i])) {
-        tel.absorb(&trial);
+    let trial_hubs = fan_out(threads, combos.len(), |i| run_trial(i, combos[i]));
+    for trial in &trial_hubs {
+        tel.absorb(trial);
     }
 
     // Human summary per sweep cell (rep 0 shown; all reps absorbed).
@@ -416,5 +520,9 @@ fn main() {
         }
     }
 
-    udc_bench::report::export("udc_chaos", &tel);
+    if full_artifact {
+        udc_bench::report::export("udc_chaos", &tel);
+    } else {
+        export_compact(smoke, &tel, &trial_hubs);
+    }
 }

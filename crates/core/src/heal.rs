@@ -32,7 +32,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use crate::cloud::{Deployment, UdcCloud};
 use bytes::Bytes;
 use udc_actor::{Actor, ActorError, ActorId, Ctx, Message, SupervisionPolicy, System};
-use udc_dist::{recover, CheckpointStore, RecoveryOutcome, RecoveryStrategy};
+use udc_dist::{recover, safe_truncation_seq, CheckpointStore, RecoveryOutcome, RecoveryStrategy};
 use udc_hal::DeviceId;
 use udc_isolate::{Environment, InstanceId};
 use udc_sched::StartMode;
@@ -346,6 +346,26 @@ impl RecoveryModel {
             }
         }
         self.expected.insert(id, expected);
+        // Checkpoints just advanced for this module: drop whatever log
+        // prefix recovery can no longer need. Long-running deployments
+        // would otherwise grow the reliable log without bound.
+        self.compact();
+    }
+
+    /// Truncates the reliable log through the oldest checkpoint,
+    /// provided *every* seeded module is checkpointed — one
+    /// re-execution module pins the full history, because its recovery
+    /// replays from sequence zero. Returns the entries dropped.
+    pub fn compact(&mut self) -> usize {
+        match safe_truncation_seq(&self.checkpoints, self.expected.keys()) {
+            Some(seq) => self.system.truncate_log_through(seq),
+            None => 0,
+        }
+    }
+
+    /// Entries currently retained in the reliable message log.
+    pub fn log_len(&self) -> usize {
+        self.system.log().len()
     }
 
     /// Seeds every module of `app` with `messages_per_module` messages,
@@ -1027,6 +1047,61 @@ mod tests {
             backoff_delay_us(&cfg, &id, 3),
             backoff_delay_us(&cfg, &other, 3)
         );
+    }
+
+    #[test]
+    fn log_compaction_bounds_memory_when_all_modules_checkpoint() {
+        let a = ModuleId::from("A");
+        let b = ModuleId::from("B");
+        let mut model = RecoveryModel::new();
+        model.seed_workload(&a, 100, Some(10));
+        // A's last checkpoint covers its whole stream: nothing retained.
+        assert_eq!(model.log_len(), 0);
+        model.seed_workload(&b, 60, Some(20));
+        // The truncation point is the *oldest* checkpoint (A's), so B's
+        // later stream is retained; memory stays bounded by the suffix
+        // past the oldest checkpoint rather than growing with history.
+        assert_eq!(model.log_len(), 60);
+        // Recovery is unaffected by the dropped prefix.
+        for id in [&a, &b] {
+            let out = model
+                .recover_module(id, RecoveryStrategy::FromCheckpoint)
+                .unwrap();
+            assert_eq!(out.strategy, RecoveryStrategy::FromCheckpoint);
+            assert_eq!(out.replayed, 0, "fully checkpointed: no suffix");
+            assert_eq!(model.recovered_state(id), model.expected_state(id));
+        }
+    }
+
+    #[test]
+    fn uncheckpointed_module_pins_the_full_log() {
+        let a = ModuleId::from("A");
+        let b = ModuleId::from("B");
+        let mut model = RecoveryModel::new();
+        model.seed_workload(&a, 50, None); // re-execution: replays seq 0
+        model.seed_workload(&b, 50, Some(10));
+        assert_eq!(model.compact(), 0, "A's history must be kept");
+        assert_eq!(model.log_len(), 100);
+        let out = model
+            .recover_module(&a, RecoveryStrategy::Reexecute)
+            .unwrap();
+        assert_eq!(out.replayed, 50);
+        assert_eq!(model.recovered_state(&a), model.expected_state(&a));
+    }
+
+    #[test]
+    fn compaction_keeps_replay_suffix_past_last_checkpoint() {
+        let a = ModuleId::from("A");
+        let mut model = RecoveryModel::new();
+        model.seed_workload(&a, 25, Some(10));
+        // Checkpoints at messages 10 and 20: only the 5-message suffix
+        // past the newest checkpoint survives compaction.
+        assert_eq!(model.log_len(), 5);
+        let out = model
+            .recover_module(&a, RecoveryStrategy::FromCheckpoint)
+            .unwrap();
+        assert_eq!(out.replayed, 5);
+        assert_eq!(model.recovered_state(&a), model.expected_state(&a));
     }
 
     #[test]

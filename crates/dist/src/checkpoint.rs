@@ -64,6 +64,26 @@ impl CheckpointStore {
     }
 }
 
+/// The highest log sequence that is safe to truncate once every actor
+/// in `required` can recover without it: the minimum checkpoint seq
+/// across the required set (each actor only replays messages *after*
+/// its checkpoint, so nothing at or before the minimum is ever needed
+/// again). `None` when the set is empty or any required actor lacks a
+/// checkpoint — re-execution domains need the full history retained.
+pub fn safe_truncation_seq<'a>(
+    store: &CheckpointStore,
+    required: impl IntoIterator<Item = &'a ActorId>,
+) -> Option<u64> {
+    let mut min: Option<u64> = None;
+    for id in required {
+        match store.latest(id) {
+            Some(cp) => min = Some(min.map_or(cp.seq, |m| m.min(cp.seq))),
+            None => return None,
+        }
+    }
+    min
+}
+
 /// The user-selected recovery strategy for a failure domain.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum RecoveryStrategy {
@@ -260,6 +280,53 @@ mod tests {
         );
         assert_eq!(out.replayed, 1);
         assert_eq!(fresh.sum, 1);
+    }
+
+    #[test]
+    fn safe_truncation_is_min_checkpoint_seq() {
+        let mut cps = CheckpointStore::new();
+        let a = ActorId::new("a");
+        let b = ActorId::new("b");
+        cps.save(&a, 7, vec![]);
+        cps.save(&b, 4, vec![]);
+        assert_eq!(safe_truncation_seq(&cps, [&a, &b]), Some(4));
+        assert_eq!(safe_truncation_seq(&cps, [&a]), Some(7));
+    }
+
+    #[test]
+    fn safe_truncation_blocked_by_uncheckpointed_actor() {
+        let mut cps = CheckpointStore::new();
+        let a = ActorId::new("a");
+        let b = ActorId::new("b");
+        cps.save(&a, 7, vec![]);
+        // `b` has no checkpoint (e.g. a Reexecute domain): the full log
+        // must be retained, so no truncation point exists.
+        assert_eq!(safe_truncation_seq(&cps, [&a, &b]), None);
+        // An empty required set also yields no truncation point.
+        assert_eq!(safe_truncation_seq(&cps, []), None);
+    }
+
+    #[test]
+    fn truncated_log_still_recovers_from_checkpoint() {
+        let (mut sys, id) = run_workload(10);
+        let mut cps = CheckpointStore::new();
+        let seq7 = sys.log().entries()[6].seq;
+        cps.save(&id, seq7, 28u64.to_le_bytes().to_vec());
+
+        let cut = safe_truncation_seq(&cps, [&id]).unwrap();
+        sys.truncate_log_through(cut);
+        assert_eq!(sys.log().len(), 3, "only the suffix is retained");
+
+        let mut fresh = Acc::default();
+        let out = recover(
+            &id,
+            &mut fresh,
+            sys.log(),
+            &cps,
+            RecoveryStrategy::FromCheckpoint,
+        );
+        assert_eq!(out.replayed, 3);
+        assert_eq!(fresh.sum, 55, "recovery unaffected by truncation");
     }
 
     #[test]

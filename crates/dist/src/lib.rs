@@ -24,7 +24,9 @@ pub mod domain;
 pub mod prefqueue;
 pub mod store;
 
-pub use checkpoint::{recover, Checkpoint, CheckpointStore, RecoveryOutcome, RecoveryStrategy};
+pub use checkpoint::{
+    recover, safe_truncation_seq, Checkpoint, CheckpointStore, RecoveryOutcome, RecoveryStrategy,
+};
 pub use domain::DomainTracker;
 pub use prefqueue::{Op, OpKind, PreferenceQueue};
 pub use store::{ReadResult, ReplicatedStore, ReplicationParams, StoreError, StoreStats};

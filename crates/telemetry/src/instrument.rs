@@ -1,0 +1,267 @@
+//! Pre-registered instrument handles for lock-free hot paths.
+//!
+//! The hub's string-keyed API (`incr("actor.delivered", …)`) pays a
+//! `Mutex<State>` acquisition plus a `BTreeMap<(String, Labels)>` walk
+//! on every call — fine for control-plane events, ruinous at
+//! per-message rates. A handle resolves that lookup *once* at
+//! registration time into an `Arc`-shared atomic cell; after that the
+//! hot path is a single relaxed atomic RMW with no lock and no string
+//! hashing.
+//!
+//! Cells are *staging* areas, not the source of truth: pending deltas
+//! are flushed into the hub's [`MetricsRegistry`] whenever the hub is
+//! read (`counter`/`gauge`/`histogram`), snapshotted, or absorbed into
+//! another hub. Because the flush folds into the same registry entries
+//! the string-keyed path would have written — and a handle that was
+//! never used flushes nothing — the JSON export is byte-identical
+//! whichever path recorded the data.
+//!
+//! Handles obtained from a disabled hub are inert: no cell, one branch
+//! per call, nothing recorded — mirroring the disabled-hub behaviour of
+//! the string-keyed API.
+
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::metrics::{MetricsRegistry, BUCKETS};
+use crate::Labels;
+
+/// Staging cell for a counter: deltas accumulate until the next flush.
+#[derive(Debug, Default)]
+pub(crate) struct CounterCell {
+    pending: AtomicU64,
+}
+
+/// Staging cell for a gauge. `high_water` is monotone for the life of
+/// the cell, so re-flushing it is idempotent under the registry's
+/// max-fold; `touched` gates flushing so an unused handle never
+/// materializes a series.
+#[derive(Debug, Default)]
+pub(crate) struct GaugeCell {
+    value: AtomicI64,
+    high_water: AtomicI64,
+    touched: AtomicBool,
+}
+
+/// Staging cell for a histogram: per-bucket pending counts plus the
+/// pending sum. `min`/`max` are monotone (never reset by a flush);
+/// folding them repeatedly is idempotent, like the gauge high-water.
+#[derive(Debug)]
+pub(crate) struct HistogramCell {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for HistogramCell {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Hot-path counter: `incr` is one relaxed `fetch_add`.
+#[derive(Clone, Debug, Default)]
+pub struct CounterHandle {
+    cell: Option<Arc<CounterCell>>,
+}
+
+impl CounterHandle {
+    pub(crate) fn active(cell: Arc<CounterCell>) -> Self {
+        Self { cell: Some(cell) }
+    }
+
+    /// Adds `delta` to the counter. A single atomic op; folded into the
+    /// registry at the next flush point.
+    #[inline]
+    pub fn incr(&self, delta: u64) {
+        if let Some(c) = &self.cell {
+            c.pending.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether this handle records anywhere (false for handles minted
+    /// by a disabled hub).
+    pub fn is_active(&self) -> bool {
+        self.cell.is_some()
+    }
+}
+
+/// Hot-path gauge: `set` is three relaxed atomic ops, still lock- and
+/// lookup-free.
+#[derive(Clone, Debug, Default)]
+pub struct GaugeHandle {
+    cell: Option<Arc<GaugeCell>>,
+}
+
+impl GaugeHandle {
+    pub(crate) fn active(cell: Arc<GaugeCell>) -> Self {
+        Self { cell: Some(cell) }
+    }
+
+    /// Sets the gauge's current value, folding the high-water mark.
+    #[inline]
+    pub fn set(&self, value: i64) {
+        if let Some(c) = &self.cell {
+            c.value.store(value, Ordering::Relaxed);
+            c.high_water.fetch_max(value, Ordering::Relaxed);
+            c.touched.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether this handle records anywhere.
+    pub fn is_active(&self) -> bool {
+        self.cell.is_some()
+    }
+}
+
+/// Hot-path histogram: `observe` is four relaxed atomic ops.
+#[derive(Clone, Debug, Default)]
+pub struct HistogramHandle {
+    cell: Option<Arc<HistogramCell>>,
+}
+
+impl HistogramHandle {
+    pub(crate) fn active(cell: Arc<HistogramCell>) -> Self {
+        Self { cell: Some(cell) }
+    }
+
+    /// Records one observation into the staged log-bucketed histogram.
+    #[inline]
+    pub fn observe(&self, value: u64) {
+        if let Some(c) = &self.cell {
+            c.buckets[crate::metrics::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+            c.sum.fetch_add(value, Ordering::Relaxed);
+            c.min.fetch_min(value, Ordering::Relaxed);
+            c.max.fetch_max(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether this handle records anywhere.
+    pub fn is_active(&self) -> bool {
+        self.cell.is_some()
+    }
+}
+
+enum CellRef {
+    Counter(Arc<CounterCell>),
+    Gauge(Arc<GaugeCell>),
+    Histogram(Arc<HistogramCell>),
+}
+
+struct InstrumentEntry {
+    name: String,
+    labels: Labels,
+    cell: CellRef,
+}
+
+/// All instruments registered against one hub. Registration is rare
+/// (startup / `set_observer`), so lookup is a linear scan; the hot path
+/// never touches this table.
+#[derive(Default)]
+pub(crate) struct InstrumentTable {
+    entries: Vec<InstrumentEntry>,
+}
+
+impl InstrumentTable {
+    pub fn register_counter(&mut self, name: &str, labels: &Labels) -> Arc<CounterCell> {
+        if let Some(e) = self.find(name, labels) {
+            if let CellRef::Counter(c) = &e.cell {
+                return Arc::clone(c);
+            }
+        }
+        let cell = Arc::new(CounterCell::default());
+        self.entries.push(InstrumentEntry {
+            name: name.to_string(),
+            labels: labels.clone(),
+            cell: CellRef::Counter(Arc::clone(&cell)),
+        });
+        cell
+    }
+
+    pub fn register_gauge(&mut self, name: &str, labels: &Labels) -> Arc<GaugeCell> {
+        if let Some(e) = self.find(name, labels) {
+            if let CellRef::Gauge(c) = &e.cell {
+                return Arc::clone(c);
+            }
+        }
+        let cell = Arc::new(GaugeCell::default());
+        self.entries.push(InstrumentEntry {
+            name: name.to_string(),
+            labels: labels.clone(),
+            cell: CellRef::Gauge(Arc::clone(&cell)),
+        });
+        cell
+    }
+
+    pub fn register_histogram(&mut self, name: &str, labels: &Labels) -> Arc<HistogramCell> {
+        if let Some(e) = self.find(name, labels) {
+            if let CellRef::Histogram(c) = &e.cell {
+                return Arc::clone(c);
+            }
+        }
+        let cell = Arc::new(HistogramCell::default());
+        self.entries.push(InstrumentEntry {
+            name: name.to_string(),
+            labels: labels.clone(),
+            cell: CellRef::Histogram(Arc::clone(&cell)),
+        });
+        cell
+    }
+
+    fn find(&self, name: &str, labels: &Labels) -> Option<&InstrumentEntry> {
+        self.entries
+            .iter()
+            .find(|e| e.name == name && &e.labels == labels)
+    }
+
+    /// Drains every cell's pending data into the registry. Called at
+    /// read/snapshot/absorb points; after it returns the registry holds
+    /// exactly what the string-keyed path would hold.
+    pub fn flush(&self, metrics: &mut MetricsRegistry) {
+        for e in &self.entries {
+            match &e.cell {
+                CellRef::Counter(c) => {
+                    let d = c.pending.swap(0, Ordering::Relaxed);
+                    if d > 0 {
+                        metrics.incr(&e.name, e.labels.clone(), d);
+                    }
+                }
+                CellRef::Gauge(c) => {
+                    if c.touched.swap(false, Ordering::Relaxed) {
+                        metrics.gauge_flush(
+                            &e.name,
+                            e.labels.clone(),
+                            c.value.load(Ordering::Relaxed),
+                            c.high_water.load(Ordering::Relaxed),
+                        );
+                    }
+                }
+                CellRef::Histogram(c) => {
+                    let mut counts = [0u64; BUCKETS];
+                    let mut count = 0u64;
+                    for (dst, src) in counts.iter_mut().zip(c.buckets.iter()) {
+                        *dst = src.swap(0, Ordering::Relaxed);
+                        count += *dst;
+                    }
+                    if count > 0 {
+                        metrics.merge_parts(
+                            &e.name,
+                            e.labels.clone(),
+                            counts,
+                            count,
+                            c.sum.swap(0, Ordering::Relaxed),
+                            c.min.load(Ordering::Relaxed),
+                            c.max.load(Ordering::Relaxed),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

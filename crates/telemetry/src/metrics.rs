@@ -51,6 +51,19 @@ impl MetricsRegistry {
             .map(|g| (g.value, g.high_water))
     }
 
+    /// Flush path for [`crate::instrument::GaugeHandle`]: takes the
+    /// staged current value and max-folds the staged high-water mark
+    /// (which is monotone in the cell, so repeated flushes are
+    /// idempotent).
+    pub fn gauge_flush(&mut self, name: &str, labels: Labels, value: i64, high_water: i64) {
+        let g = self
+            .gauges
+            .entry((name.to_string(), labels))
+            .or_insert(Gauge { value, high_water });
+        g.value = value;
+        g.high_water = g.high_water.max(high_water);
+    }
+
     pub fn observe(&mut self, name: &str, labels: Labels, value: u64) {
         self.histograms
             .entry((name.to_string(), labels))
@@ -80,6 +93,33 @@ impl MetricsRegistry {
         }
     }
 
+    /// Flush path for [`crate::instrument::HistogramHandle`]: merges a
+    /// drained bucket-count array exactly, as if each staged
+    /// observation had been `record`ed directly.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn merge_parts(
+        &mut self,
+        name: &str,
+        labels: Labels,
+        counts: [u64; BUCKETS],
+        count: u64,
+        sum: u64,
+        min: u64,
+        max: u64,
+    ) {
+        let delta = Histogram {
+            counts,
+            count,
+            sum: sum as u128,
+            min,
+            max,
+        };
+        self.histograms
+            .entry((name.to_string(), labels))
+            .or_default()
+            .merge(&delta);
+    }
+
     pub fn counters(&self) -> impl Iterator<Item = (&Key, &u64)> {
         self.counters.iter()
     }
@@ -95,7 +135,7 @@ impl MetricsRegistry {
 
 /// Number of buckets: one for zero plus one per power of two up to
 /// `u64::MAX`.
-const BUCKETS: usize = 65;
+pub(crate) const BUCKETS: usize = 65;
 
 /// A base-2 log-bucketed histogram.
 ///

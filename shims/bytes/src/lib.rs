@@ -21,11 +21,13 @@ pub struct Bytes {
 
 impl Bytes {
     /// An empty buffer.
+    #[inline]
     pub fn new() -> Self {
         Self::from_static(&[])
     }
 
     /// Wraps a static slice without copying.
+    #[inline]
     pub fn from_static(bytes: &'static [u8]) -> Self {
         Self {
             repr: Repr::Static(bytes),
@@ -40,6 +42,7 @@ impl Bytes {
     }
 
     /// The buffer as a slice.
+    #[inline]
     pub fn as_slice(&self) -> &[u8] {
         match &self.repr {
             Repr::Static(s) => s,
@@ -48,11 +51,13 @@ impl Bytes {
     }
 
     /// Length in bytes.
+    #[inline]
     pub fn len(&self) -> usize {
         self.as_slice().len()
     }
 
     /// True when empty.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.as_slice().is_empty()
     }
@@ -72,12 +77,14 @@ impl Default for Bytes {
 impl Deref for Bytes {
     type Target = [u8];
 
+    #[inline]
     fn deref(&self) -> &[u8] {
         self.as_slice()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
+    #[inline]
     fn as_ref(&self) -> &[u8] {
         self.as_slice()
     }
