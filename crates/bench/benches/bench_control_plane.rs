@@ -10,6 +10,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use udc_economics::{demand_of_app, PlanSpec, QuotaGate};
 use udc_extvm::{assemble, NullHost, Vm, VmLimits};
 use udc_hal::linear::LinearPool;
 use udc_hal::pool::AllocConstraints;
@@ -28,6 +29,30 @@ fn bench_placement(c: &mut Criterion) {
             let mut dc = Datacenter::default();
             let mut sched = Scheduler::new(SchedOptions::default());
             let p = sched.place_app(&mut dc, black_box(&medical)).unwrap();
+            black_box(p);
+        })
+    });
+
+    // The identical placement behind a quota gate with a finite (but
+    // amply sufficient) plan: the admission check must be noise against
+    // the placement itself — `bench_check` caps the ratio at 1.05x.
+    let demand = demand_of_app(&medical);
+    let gate = udc_economics::shared({
+        let mut g = QuotaGate::new();
+        let plan = PlanSpec {
+            quota: demand.scaled(2),
+            ..PlanSpec::unlimited("bench")
+        };
+        g.open_account("tenant", plan, 0);
+        g
+    });
+    c.bench_function("sched/place_medical_quota_gated", |b| {
+        b.iter(|| {
+            let mut dc = Datacenter::default();
+            let mut sched = Scheduler::new(SchedOptions::default());
+            sched.set_quota_gate(Some(gate.clone()));
+            let p = sched.place_app(&mut dc, black_box(&medical)).unwrap();
+            gate.lock().unwrap().release("tenant", &demand);
             black_box(p);
         })
     });

@@ -13,7 +13,7 @@
 //! Every threshold is stated next to its check. All files passed on the
 //! command line are merged into one name → ns/iter map; a missing bench
 //! name fails the run (a silently skipped check is a regression vector).
-//! `--suite=control|telemetry|actor` (repeatable) restricts which check
+//! `--suite=control|telemetry|actor|economics` (repeatable) restricts which check
 //! suites run, so a CI job that only ran one bench binary can enforce
 //! exactly that binary's floors; with no `--suite=` flag every suite
 //! runs. Exits 0 when every check holds, 1 otherwise.
@@ -104,7 +104,7 @@ impl Checker {
     }
 }
 
-const SUITES: &[&str] = &["control", "telemetry", "actor"];
+const SUITES: &[&str] = &["control", "telemetry", "actor", "economics"];
 
 fn main() -> ExitCode {
     let mut paths = Vec::new();
@@ -121,7 +121,9 @@ fn main() -> ExitCode {
         }
     }
     if paths.is_empty() {
-        eprintln!("usage: bench_check [--suite=control|telemetry|actor]... <bench-json>...");
+        eprintln!(
+            "usage: bench_check [--suite=control|telemetry|actor|economics]... <bench-json>..."
+        );
         return ExitCode::from(2);
     }
     let run = |name: &str| suites.is_empty() || suites.iter().any(|s| s == name);
@@ -153,6 +155,17 @@ fn main() -> ExitCode {
             "binpack_10k/naive/bestfit",
             "binpack_10k/indexed/bestfit",
             1.0,
+        );
+    }
+
+    if run("economics") {
+        // Quota-gated admission is one pure `admit` plus one `commit`
+        // under a lock per placement: at most 5% over the ungated
+        // placement (the PR's acceptance floor; measured ~1.00-1.02x).
+        c.ratio_at_most(
+            "sched/place_medical_quota_gated",
+            "sched/place_medical",
+            1.05,
         );
     }
 

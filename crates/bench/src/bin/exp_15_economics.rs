@@ -2,35 +2,121 @@
 //! unit price that is still attractive to users since they can tailor
 //! their cloud usages and only pay for what is used."
 //!
-//! Sweep the UDC unit-price multiplier: user's monthly bill (exact fit x
-//! multiplier) vs the IaaS bill (catalog shapes), and the provider's
-//! revenue per unit of hardware actually consumed. The win-win region is
-//! where users still save AND the provider earns more per unit.
+//! Four sections, all exported into one structured artifact:
+//!
+//! 1. **Win-win pricing** (the seed sweep): the UDC unit-price
+//!    multiplier region where users still save vs IaaS catalog shapes
+//!    AND the provider earns more per unit of hardware consumed.
+//! 2. **Spot market: utilization vs revenue.** At each utilization
+//!    level the provider auctions its surplus to seeded extension-VM
+//!    bidding policies; scarcer lots at higher demand clear higher, so
+//!    revenue per unit rises with utilization.
+//! 3. **Price of anarchy vs bid shading.** Sweeping how many bidders
+//!    shade below their true valuation shows the second-price auction's
+//!    welfare loss when tenants deviate from the dominant strategy.
+//! 4. **Quota-gated admission audit.** A tiny-plan tenant submits the
+//!    medical pipeline, the gate denies it, and the denial lands in the
+//!    decision log — `udc-trace results/exp_15_economics.json
+//!    --explain S1` prints the economic rejection like any capacity
+//!    one.
+//!
+//! Sections 2 and 3 fan trials across `--threads N` workers; each
+//! trial derives its seed from its index and records into a private
+//! telemetry hub, absorbed in trial order — the exported JSON is
+//! byte-identical at any thread count. Human tables go to stderr;
+//! stdout carries only the artifact path.
 
 use udc_baseline::IaasProvisioner;
-use udc_bench::{banner, pct, Table};
-use udc_spec::ResourceVector;
+use udc_bench::harness::{fan_out, threads_from_args};
+use udc_bench::{banner_stderr, pct, Table};
+use udc_economics::{
+    BidderPolicy, Lot, PlanSpec, QuotaGate, SpotMarket, AGGRESSIVE_BIDDER, BUDGET_BIDDER,
+    SHADED_BIDDER, TRUTHFUL_BIDDER,
+};
+use udc_extvm::assemble;
+use udc_spec::{ResourceKind, ResourceVector};
 use udc_telemetry::{EventKind, FieldValue, Labels, Telemetry};
-use udc_workload::DemandSampler;
+use udc_workload::{medical_pipeline, DemandSampler};
+
+const EPOCHS: u64 = 32;
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One market trial: `tenants` bidding policies (name, program source)
+/// auction `EPOCHS` lots at the given utilization. Valuations are
+/// drawn per epoch per bidder from the trial seed; scarcity raises
+/// them (tighter supply is worth more). Returns the trial's private
+/// hub plus the welfare tallies for the price-of-anarchy ratio.
+fn market_trial(
+    seed: u64,
+    utilization_pct: u64,
+    tenants: &[(&str, &str)],
+) -> (Telemetry, u64, u64) {
+    let tel = Telemetry::enabled();
+    let mut gate = QuotaGate::new();
+    for (name, _) in tenants {
+        gate.open_account(name, PlanSpec::unlimited("spot"), 0);
+        // Working capital so the budget policy has headroom.
+        gate.account_mut(name).unwrap().pay(0, 2_000_000);
+    }
+    let mut market = SpotMarket::default();
+    let surplus = (100 - utilization_pct).max(4);
+    let lot = Lot {
+        kind: ResourceKind::Cpu,
+        units: surplus,
+        reserve_price: 2 + utilization_pct / 10,
+    };
+    let (mut achieved, mut optimal) = (0u64, 0u64);
+    for epoch in 0..EPOCHS {
+        let bidders: Vec<BidderPolicy> = tenants
+            .iter()
+            .enumerate()
+            .map(|(i, (name, asm))| {
+                let r = splitmix64(seed ^ (epoch << 8) ^ i as u64);
+                BidderPolicy {
+                    tenant: name.to_string(),
+                    program: assemble(asm).expect("canned policy assembles"),
+                    // 10..50 µ$/unit base, shifted up with utilization.
+                    valuation: 10 + r % 40 + utilization_pct / 4,
+                }
+            })
+            .collect();
+        let out = market.run_epoch(
+            epoch * 1_000_000,
+            &lot,
+            &bidders,
+            utilization_pct,
+            &mut gate,
+            &tel,
+        );
+        achieved += out.achieved_welfare;
+        optimal += out.optimal_welfare;
+    }
+    (tel, achieved, optimal)
+}
 
 fn main() {
-    banner(
+    banner_stderr(
         "E15",
-        "Win-win pricing region",
-        "UDC can raise unit prices and still undercut users' total cost, \
-         because users stop paying for stranded capacity",
+        "Tenant economics: win-win pricing, spot market, quota gate",
+        "UDC can raise unit prices and still undercut users' total cost; \
+         surplus capacity clears through a tenant-programmable auction",
     );
+    let threads = threads_from_args();
+    let tel = Telemetry::enabled();
 
+    // ---- 1. Win-win pricing region (the seed sweep) -----------------
     let mut sampler = DemandSampler::new(99);
     let demands: Vec<ResourceVector> = sampler.sample_n(2_000);
-
-    // Baseline: IaaS bill for the same demands.
     let iaas = IaasProvisioner::new();
     let iaas_out = iaas.provision(&demands);
     let iaas_hourly = iaas_out.hourly_cost as f64;
-
-    // UDC at multiplier 1.0: users pay unit prices for exactly the
-    // demand.
     let udc_base_hourly: f64 = demands
         .iter()
         .map(|d| {
@@ -47,15 +133,12 @@ fn main() {
     // power and operations cost ~40% of the UDC base price for capacity
     // actually PROVISIONED. IaaS must provision used/(1-waste); UDC
     // provisions used/0.8 (20% elasticity headroom) — the paper's
-    // consolidation argument ("providers could potentially consolidate
-    // more applications to the same amount of computing resources and
-    // shutting down the remaining ones").
+    // consolidation argument.
     let hw_cost_fraction = 0.4;
     let iaas_provisioned = 1.0 / (1.0 - iaas_out.mean_waste);
     let udc_provisioned = 1.0 / 0.8;
     let iaas_profit = iaas_hourly - hw_cost_fraction * udc_base_hourly * iaas_provisioned;
 
-    let tel = Telemetry::enabled();
     let mut t = Table::new(&[
         "price multiplier",
         "user bill (UDC)",
@@ -91,16 +174,160 @@ fn main() {
             if win_win { "YES" } else { "no" }.to_string(),
         ]);
     }
-    t.print();
-
-    println!();
-    println!(
+    t.eprint();
+    eprintln!(
         "IaaS mean waste on this population: {}. Assumptions: hardware+ops \
          cost = 40% of base unit price for provisioned capacity; IaaS \
-         provisions 1/(1-waste) per used unit, UDC 1/0.8 (consolidation, E4). \
-         The win-win region is where the user still saves AND the provider's \
-         profit matches or beats IaaS — the paper's adoption argument.",
+         provisions 1/(1-waste) per used unit, UDC 1/0.8 (consolidation, E4).",
         pct(iaas_out.mean_waste)
     );
+
+    // ---- 2. Spot market: utilization vs revenue ---------------------
+    // A mixed, realistic policy population: two truthful tenants, one
+    // shader, one over-bidder, one budget-capped.
+    const POPULATION: [(&str, &str); 5] = [
+        ("alice", TRUTHFUL_BIDDER),
+        ("bob", SHADED_BIDDER),
+        ("carol", AGGRESSIVE_BIDDER),
+        ("dave", BUDGET_BIDDER),
+        ("erin", TRUTHFUL_BIDDER),
+    ];
+    let utilizations: [u64; 6] = [50, 60, 70, 80, 90, 95];
+    let util_trials = fan_out(threads, utilizations.len(), |idx| {
+        let util = utilizations[idx];
+        let (trial, achieved, optimal) = market_trial(2026 + idx as u64, util, &POPULATION);
+        let labels = Labels::tenant(format!("util{util}"));
+        let revenue = trial.counter("market.revenue_microdollars", &Labels::none());
+        let clearing = trial
+            .histogram("market.clearing_price", &Labels::none())
+            .map(|h| h.mean)
+            .unwrap_or(0.0);
+        let unsold = trial.counter("market.unsold_lots", &Labels::none());
+        trial.event(
+            EventKind::Measurement,
+            labels,
+            &[
+                ("utilization_pct", FieldValue::from(util)),
+                ("revenue_microdollars", FieldValue::from(revenue)),
+                ("mean_clearing_price", FieldValue::from(clearing)),
+                ("unsold_lots", FieldValue::from(unsold)),
+                (
+                    "price_of_anarchy",
+                    FieldValue::from(optimal as f64 / achieved.max(1) as f64),
+                ),
+            ],
+        );
+        (trial, revenue, clearing, unsold)
+    });
+    let mut t = Table::new(&[
+        "utilization",
+        "lot size",
+        "revenue (µ$)",
+        "mean clearing µ$/unit",
+        "unsold lots",
+    ]);
+    for (idx, (trial, revenue, clearing, unsold)) in util_trials.iter().enumerate() {
+        tel.absorb(trial);
+        let util = utilizations[idx];
+        t.row(&[
+            format!("{util}%"),
+            format!("{}", (100 - util).max(4)),
+            revenue.to_string(),
+            format!("{clearing:.1}"),
+            unsold.to_string(),
+        ]);
+    }
+    t.eprint();
+    eprintln!(
+        "Scarcity pricing: as utilization rises the surplus lot shrinks and \
+         valuations climb, so the per-unit clearing price rises — the \
+         provider monetizes exactly the capacity users compete for."
+    );
+
+    // ---- 3. Price of anarchy vs bid shading -------------------------
+    let shaded_counts: [usize; 5] = [0, 1, 2, 3, 4];
+    let poa_trials = fan_out(threads, shaded_counts.len(), |idx| {
+        let shaded = shaded_counts[idx];
+        let names = ["t0", "t1", "t2", "t3"];
+        let tenants: Vec<(&str, &str)> = names
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                (
+                    *name,
+                    if i < shaded {
+                        SHADED_BIDDER
+                    } else {
+                        TRUTHFUL_BIDDER
+                    },
+                )
+            })
+            .collect();
+        let (trial, achieved, optimal) = market_trial(4040 + idx as u64, 70, &tenants);
+        let poa = optimal as f64 / achieved.max(1) as f64;
+        trial.event(
+            EventKind::Measurement,
+            Labels::tenant(format!("shaded{shaded}")),
+            &[
+                ("shaded_bidders", FieldValue::from(shaded as u64)),
+                ("price_of_anarchy", FieldValue::from(poa)),
+                ("achieved_welfare", FieldValue::from(achieved)),
+                ("optimal_welfare", FieldValue::from(optimal)),
+            ],
+        );
+        (trial, poa)
+    });
+    let mut t = Table::new(&["shaded bidders (of 4)", "price of anarchy"]);
+    for (idx, (trial, poa)) in poa_trials.iter().enumerate() {
+        tel.absorb(trial);
+        t.row(&[shaded_counts[idx].to_string(), format!("{poa:.3}")]);
+    }
+    t.eprint();
+    eprintln!(
+        "All-truthful bidding is efficient (PoA = 1.0, Vickrey's dominant \
+         strategy). Asymmetric shading hands lots to lower-valuation rivals \
+         and welfare drops; when every bidder shades by the same factor the \
+         ranking — and so the allocation — is restored."
+    );
+
+    // ---- 4. Quota-gated admission audit -----------------------------
+    // A tiny plan (2 CPUs) cannot admit the medical pipeline; the
+    // denial is recorded per module in the decision log and the
+    // artifact answers `udc-trace --explain S1`.
+    let mut cloud = udc_core::UdcCloud::new(udc_core::CloudConfig::default());
+    let obs = cloud.enable_telemetry();
+    let mut gate = QuotaGate::new();
+    let tiny = PlanSpec {
+        quota: ResourceVector::new().with(ResourceKind::Cpu, 2),
+        ..PlanSpec::unlimited("tiny")
+    };
+    gate.open_account("tenant", tiny, 0);
+    cloud.attach_economics(udc_economics::shared(gate));
+    let denied = cloud.submit(&medical_pipeline());
+    let denial_msg = match denied {
+        Err(e) => e.to_string(),
+        Ok(_) => "UNEXPECTED ADMIT".to_string(),
+    };
+    let denials = obs
+        .decisions()
+        .iter()
+        .filter(|d| d.stage == "sched.admit")
+        .count() as u64;
+    obs.event(
+        EventKind::Measurement,
+        Labels::tenant("quota_demo"),
+        &[
+            ("denied", FieldValue::from(denial_msg.as_str())),
+            ("admit_decisions", FieldValue::from(denials)),
+        ],
+    );
+    tel.absorb(&obs);
+    eprintln!();
+    eprintln!("Quota-gated admission: {denial_msg}");
+    eprintln!(
+        "  {denials} per-module denial records in the decision log — try \
+         `udc-trace results/exp_15_economics.json --explain S1`"
+    );
+
     udc_bench::report::export("exp_15_economics", &tel);
 }

@@ -316,6 +316,19 @@ fn print_trace_report(spans: &[SpanRow], decisions: &[DecisionRow]) {
             .collect::<std::collections::BTreeSet<_>>()
             .len()
     );
+    // Economic denials — the quota gate, the suspension lifecycle, and
+    // lost spot-market auctions — audited next to capacity rejections.
+    let econ: BTreeMap<&str, usize> = decisions
+        .iter()
+        .filter(|d| matches!(d.reason.as_str(), "quota_exceeded" | "suspended" | "outbid"))
+        .fold(BTreeMap::new(), |mut m, d| {
+            *m.entry(d.reason.as_str()).or_default() += 1;
+            m
+        });
+    if !econ.is_empty() {
+        let parts: Vec<String> = econ.iter().map(|(r, n)| format!("{n} {r}")).collect();
+        println!("economic denials: {}", parts.join(", "));
+    }
 }
 
 fn explain(decisions: &[DecisionRow], module: &str) -> bool {

@@ -13,6 +13,7 @@ use std::fmt;
 use udc_crypto::aead::{seal, Key, Nonce};
 use udc_crypto::attest::Verifier;
 use udc_crypto::derive_key;
+use udc_economics::{demand_of_app, SharedQuotaGate};
 use udc_hal::{Datacenter, DatacenterConfig, DeviceId};
 use udc_isolate::{EnvState, Environment, InstanceId, WarmPoolConfig};
 use udc_sched::{data_movement, AppPlacement, SchedError, SchedOptions, Scheduler, StartMode};
@@ -105,6 +106,13 @@ pub struct Deployment {
     /// Recoverable state: message log + checkpoints the repair loop
     /// replays/restores after a crash.
     pub recovery: crate::heal::RecoveryModel,
+    /// The admission footprint committed against the tenant's quota at
+    /// submit (released at teardown when economics is attached).
+    pub admitted_demand: udc_spec::ResourceVector,
+    /// Modules evicted because the tenant's account is suspended; they
+    /// stay out of the device-repair re-heal path until payment
+    /// reinstates the account.
+    pub econ_suspended: std::collections::BTreeSet<ModuleId>,
     /// Released flag (idempotent teardown).
     released: bool,
 }
@@ -144,6 +152,9 @@ pub struct UdcCloud {
     pub(crate) obs: Telemetry,
     /// Devices currently crashed (maintained by [`UdcCloud::advance`]).
     pub(crate) dead_devices: std::collections::BTreeSet<DeviceId>,
+    /// Tenant economics gate shared with the scheduler (admission) and
+    /// the caller (payments, market). `None` = ungated seed behavior.
+    pub(crate) econ_gate: Option<SharedQuotaGate>,
 }
 
 impl UdcCloud {
@@ -182,7 +193,25 @@ impl UdcCloud {
             next_unit: 0,
             obs: Telemetry::disabled(),
             dead_devices: std::collections::BTreeSet::new(),
+            econ_gate: None,
         }
+    }
+
+    /// Attaches the tenant economics subsystem: the scheduler starts
+    /// consulting `gate` at admission, `run` meters usage into the
+    /// tenant's ledger at the submit-time prices, billing
+    /// reconciliation checks against the ledger, and
+    /// [`UdcCloud::advance`] drives the overdue → degrade → suspend →
+    /// reinstate lifecycle. The caller keeps a clone of the handle for
+    /// payments and the spot market.
+    pub fn attach_economics(&mut self, gate: SharedQuotaGate) {
+        self.scheduler.set_quota_gate(Some(gate.clone()));
+        self.econ_gate = Some(gate);
+    }
+
+    /// The attached economics gate, if any.
+    pub fn economics(&self) -> Option<&SharedQuotaGate> {
+        self.econ_gate.as_ref()
     }
 
     /// Installs an observability hub across the whole control plane:
@@ -313,7 +342,6 @@ impl UdcCloud {
             });
         }
         Ok(Deployment {
-            ir,
             placement,
             environments,
             objects,
@@ -321,7 +349,12 @@ impl UdcCloud {
             billing: self.billing,
             health: crate::heal::HealthState::default(),
             recovery: crate::heal::RecoveryModel::new(),
+            // Same estimate the scheduler committed at admission (it
+            // gates on the pre-resolution spec, as we compute here).
+            admitted_demand: demand_of_app(app),
+            econ_suspended: std::collections::BTreeSet::new(),
             released: false,
+            ir,
         })
     }
 
@@ -434,6 +467,25 @@ impl UdcCloud {
         report.cost =
             self.billing
                 .price_windows(&self.dc, &dep.placement, &task_windows, report.makespan_us);
+        // Tenant-side metering: debit the ledger at the prices *agreed
+        // at submit* (`dep.billing`), never the provider's current
+        // model. The provider-side counters below use `self.billing`,
+        // which is exactly what lets ledger-based reconciliation catch
+        // a provider that silently raises prices mid-flight.
+        if let Some(gate) = &self.econ_gate {
+            let now = self.dc.clock().now();
+            let mut g = gate.lock().expect("quota gate poisoned");
+            if let Some(acct) = g.account_mut(&self.tenant) {
+                for (id, m) in &dep.placement.modules {
+                    let duration = task_windows
+                        .get(id)
+                        .map(|(s, e)| e.saturating_sub(*s))
+                        .unwrap_or(report.makespan_us);
+                    let owed = dep.billing.price_module(&self.dc, m, duration);
+                    acct.charge(now, owed, Some(id.as_str()), "usage window");
+                }
+            }
+        }
         if self.obs.is_enabled() {
             self.obs
                 .incr("core.runs", Labels::tenant(self.tenant.as_str()), 1);
@@ -588,15 +640,26 @@ impl UdcCloud {
 
     /// Cross-checks what the provider billed (the
     /// `core.billed_microdollars` counters recorded at run time) against
-    /// the cost the tenant recomputes from telemetry-observed holding
-    /// windows at the prices agreed when the deployment was accepted.
-    /// Per-slice rounding means the recomputation is not bit-exact, so
-    /// bills within 1% (or 2 micro-dollars absolute) pass.
+    /// the tenant's own record of what it owes.
+    ///
+    /// With economics attached, the expected number is the sum of the
+    /// tenant ledger's debits for the module — the append-only entries
+    /// `run` metered at the prices agreed at submit — so verification
+    /// audits the actual system of record instead of recomputing costs
+    /// from scratch. Without economics the seed behavior remains: the
+    /// tenant recomputes from telemetry-observed holding windows at the
+    /// submit-time prices. Per-slice rounding means recomputation is
+    /// not bit-exact, so bills within 1% (or 2 micro-dollars absolute)
+    /// pass either way.
     fn reconcile_billing(&self, dep: &Deployment) -> BillingReconciliation {
         let mut rec = BillingReconciliation {
             tolerance: 0.01,
             ..Default::default()
         };
+        let ledger_gate = self
+            .econ_gate
+            .as_ref()
+            .map(|g| g.lock().expect("quota gate poisoned"));
         for (id, m) in &dep.placement.modules {
             let labels = Labels::module(self.tenant.as_str(), id.as_str());
             let billed = self.obs.counter("core.billed_microdollars", &labels);
@@ -604,7 +667,11 @@ impl UdcCloud {
             if billed == 0 && window == 0 {
                 continue; // Never ran with telemetry on: nothing to check.
             }
-            let expected = dep.billing.price_module(&self.dc, m, window);
+            let expected = ledger_gate
+                .as_ref()
+                .and_then(|g| g.account(&self.tenant))
+                .map(|a| a.ledger.debits_for_module(id.as_str()))
+                .unwrap_or_else(|| dep.billing.price_module(&self.dc, m, window));
             let slack = (expected as f64 * rec.tolerance).max(2.0);
             rec.modules.insert(
                 id.clone(),
@@ -703,6 +770,13 @@ impl UdcCloud {
             }
         }
         self.scheduler.release_app(&mut self.dc, &dep.placement);
+        // Return the admission footprint to the tenant's quota (the
+        // scheduler committed it when placement succeeded).
+        if let Some(gate) = &self.econ_gate {
+            gate.lock()
+                .expect("quota gate poisoned")
+                .release(&self.tenant, &dep.admitted_demand);
+        }
         dep.released = true;
         self.obs.event(
             EventKind::Teardown,
@@ -952,6 +1026,56 @@ mod tests {
         assert!(!rec.consistent());
         assert!(!rec.flagged().is_empty(), "over-billed modules flagged");
         assert!(!report.all_fulfilled(), "verification must flag the bill");
+    }
+
+    #[test]
+    fn ledger_reconciliation_matches_honest_billing_exactly() {
+        use udc_economics::{PlanSpec, QuotaGate};
+        let mut cloud = UdcCloud::new(CloudConfig::default());
+        cloud.enable_telemetry();
+        let mut gate = QuotaGate::new();
+        gate.open_account("tenant", PlanSpec::unlimited("open"), 0);
+        let gate = udc_economics::shared(gate);
+        cloud.attach_economics(gate.clone());
+
+        let dep = cloud.submit(&small_app()).unwrap();
+        cloud.run(&dep);
+        let report = cloud.verify_deployment(&dep);
+        let rec = report.billing.as_ref().expect("reconciliation ran");
+        assert!(!rec.modules.is_empty());
+        // With a ledger attached the reconciler compares against posted
+        // debits rather than recomputing, so honest billing matches to
+        // the micro-dollar.
+        assert!(rec.consistent(), "ledger-reconciled bill flagged: {rec:?}");
+        let g = gate.lock().unwrap();
+        let acct = g.account("tenant").unwrap();
+        assert!(
+            acct.ledger.total_debits() > 0,
+            "usage windows were metered into the ledger"
+        );
+        assert!(acct.ledger.conservation_holds());
+    }
+
+    #[test]
+    fn ledger_reconciliation_flags_post_agreement_price_raise() {
+        use udc_economics::{PlanSpec, QuotaGate};
+        let mut cloud = UdcCloud::new(CloudConfig::default());
+        cloud.enable_telemetry();
+        let mut gate = QuotaGate::new();
+        gate.open_account("tenant", PlanSpec::unlimited("open"), 0);
+        cloud.attach_economics(udc_economics::shared(gate));
+
+        let dep = cloud.submit(&small_app()).unwrap();
+        // Silent price raise after agreement: provider-side counters
+        // bill at the new model, but the ledger debits at the prices
+        // the deployment was accepted under — the mismatch is fraud.
+        cloud.billing.price_multiplier = 2.0;
+        cloud.run(&dep);
+        let report = cloud.verify_deployment(&dep);
+        let rec = report.billing.as_ref().expect("reconciliation ran");
+        assert!(!rec.consistent(), "price raise must be flagged");
+        assert!(!rec.flagged().is_empty());
+        assert!(!report.all_fulfilled());
     }
 
     #[test]

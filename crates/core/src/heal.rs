@@ -33,6 +33,7 @@ use crate::cloud::{Deployment, UdcCloud};
 use bytes::Bytes;
 use udc_actor::{Actor, ActorError, ActorId, Ctx, Message, SupervisionPolicy, System};
 use udc_dist::{recover, safe_truncation_seq, CheckpointStore, RecoveryOutcome, RecoveryStrategy};
+use udc_economics::LifecycleEvent;
 use udc_hal::DeviceId;
 use udc_isolate::{Environment, InstanceId};
 use udc_sched::StartMode;
@@ -206,6 +207,16 @@ impl HealthState {
         self.modules
             .insert(id.clone(), ModuleHealth::Degraded { detected_us });
     }
+
+    /// Economics: a suspended account's module is evicted into the
+    /// degraded state — the same machinery as capacity exhaustion, with
+    /// the suspension time as its MTTR epoch — but it re-heals only
+    /// when the control plane reinstates it (`mark_reheal` on payment),
+    /// never on device-repair events.
+    fn mark_econ_suspended(&mut self, id: &ModuleId, now: Micros) {
+        self.modules
+            .insert(id.clone(), ModuleHealth::Degraded { detected_us: now });
+    }
 }
 
 /// One completed module repair.
@@ -245,6 +256,11 @@ pub struct HealReport {
     pub retried: Vec<ModuleId>,
     /// Modules that exhausted retries and entered degraded mode.
     pub degraded: Vec<ModuleId>,
+    /// Modules evicted because the tenant's account was suspended.
+    pub suspended: Vec<ModuleId>,
+    /// Modules scheduled for re-placement after payment reinstated the
+    /// account (they then show up in `repaired` as healing completes).
+    pub reinstated: Vec<ModuleId>,
 }
 
 impl HealReport {
@@ -256,6 +272,8 @@ impl HealReport {
             && self.repaired.is_empty()
             && self.retried.is_empty()
             && self.degraded.is_empty()
+            && self.suspended.is_empty()
+            && self.reinstated.is_empty()
     }
 }
 
@@ -483,6 +501,12 @@ impl UdcCloud {
             );
         }
 
+        // Settle the tenant's account before computing impact: a
+        // suspension this interval evicts modules (they must not count
+        // as healthy below), and a reinstatement schedules repairs due
+        // now (so the early return can't skip them).
+        self.settle_economics(dep, now, &mut report);
+
         // A module is impacted when any of its slices or replica
         // devices sits on a dead device — or on one that crashed this
         // interval, even if a same-tick repair already brought the
@@ -504,10 +528,16 @@ impl UdcCloud {
             .map(|(id, _)| id.clone())
             .collect();
 
+        // Device repairs re-heal capacity-degraded modules, but never
+        // economically suspended ones: those wait for payment.
         let reheal: Vec<ModuleId> = if tick.repaired.is_empty() {
             Vec::new()
         } else {
-            dep.health.degraded_modules()
+            dep.health
+                .degraded_modules()
+                .into_iter()
+                .filter(|id| !dep.econ_suspended.contains(id))
+                .collect()
         };
         if impacted.is_empty() && reheal.is_empty() && dep.health.due_repairs(now).is_empty() {
             return report;
@@ -592,6 +622,132 @@ impl UdcCloud {
             self.repair_module(dep, &id, now, ctx, &mut report);
         }
         report
+    }
+
+    /// Settles the tenant's account against the sim clock and applies
+    /// the resulting lifecycle transitions to the deployment: *overdue*
+    /// is advisory, *degraded* emits audit decisions but keeps modules
+    /// running, *suspended* evicts every healthy module through the
+    /// same machinery as a capacity failure (ledger-auditable, with a
+    /// zero-amount debit recording the eviction), and *reinstated*
+    /// schedules evicted modules for immediate re-placement.
+    fn settle_economics(&mut self, dep: &mut Deployment, now: Micros, report: &mut HealReport) {
+        let Some(gate) = self.econ_gate.clone() else {
+            return;
+        };
+        let events: Vec<LifecycleEvent> = {
+            let mut g = gate.lock().expect("quota gate poisoned");
+            match g.account_mut(&self.tenant) {
+                Some(acct) => acct.settle(now),
+                None => return,
+            }
+        };
+        for ev in events {
+            match ev {
+                LifecycleEvent::Renewed { .. } => {
+                    self.obs.incr("econ.renewals", Labels::none(), 1);
+                }
+                LifecycleEvent::BecameOverdue { .. } => {
+                    self.obs.incr("econ.overdue", Labels::none(), 1);
+                }
+                LifecycleEvent::Degraded { .. } => {
+                    // Advisory: the tenant keeps running, but every
+                    // healthy module gets an audit record so the trail
+                    // explains later throttling or suspension.
+                    if self.obs.is_enabled() {
+                        let healthy: Vec<ModuleId> = dep
+                            .placement
+                            .modules
+                            .keys()
+                            .filter(|id| dep.health.module(id) == ModuleHealth::Healthy)
+                            .cloned()
+                            .collect();
+                        for id in &healthy {
+                            self.obs.decide(Decision {
+                                ctx: None,
+                                stage: "econ.degrade",
+                                module: id.as_str(),
+                                candidate: self.tenant.as_str(),
+                                accepted: false,
+                                reason: ReasonCode::Degraded,
+                                score: None,
+                                detail: "account overdue past degrade threshold; \
+                                         service degraded"
+                                    .to_string(),
+                            });
+                        }
+                    }
+                    self.obs.incr("econ.degradations", Labels::none(), 1);
+                }
+                LifecycleEvent::Suspended { .. } => {
+                    let healthy: Vec<ModuleId> = dep
+                        .placement
+                        .modules
+                        .keys()
+                        .filter(|id| dep.health.module(id) == ModuleHealth::Healthy)
+                        .cloned()
+                        .collect();
+                    for id in &healthy {
+                        let allocations = dep.placement.modules[id].allocations.clone();
+                        for a in &allocations {
+                            self.dc.release(a);
+                        }
+                        report.evicted_allocations += allocations.len() as u64;
+                        if let Some(p) = dep.placement.modules.get_mut(id) {
+                            p.allocations.clear();
+                        }
+                        if let Some(env) = dep.environments.get_mut(id) {
+                            if env.is_running() {
+                                env.stop();
+                            }
+                        }
+                        dep.health.mark_econ_suspended(id, now);
+                        dep.econ_suspended.insert(id.clone());
+                        if self.obs.is_enabled() {
+                            self.obs.decide(Decision {
+                                ctx: None,
+                                stage: "econ.suspend",
+                                module: id.as_str(),
+                                candidate: self.tenant.as_str(),
+                                accepted: false,
+                                reason: ReasonCode::Suspended,
+                                score: None,
+                                detail: "account overdue past grace; module evicted".to_string(),
+                            });
+                        }
+                        {
+                            let mut g = gate.lock().expect("quota gate poisoned");
+                            if let Some(acct) = g.account_mut(&self.tenant) {
+                                acct.charge(now, 0, Some(id.as_str()), "suspension eviction");
+                            }
+                        }
+                        report.suspended.push(id.clone());
+                    }
+                    self.obs.incr("econ.suspensions", Labels::none(), 1);
+                }
+                LifecycleEvent::Reinstated { .. } => {
+                    let ids: Vec<ModuleId> = dep.econ_suspended.iter().cloned().collect();
+                    for id in &ids {
+                        dep.health.mark_reheal(id, now);
+                        if self.obs.is_enabled() {
+                            self.obs.decide(Decision {
+                                ctx: None,
+                                stage: "econ.reinstate",
+                                module: id.as_str(),
+                                candidate: self.tenant.as_str(),
+                                accepted: true,
+                                reason: ReasonCode::Accepted,
+                                score: None,
+                                detail: "payment cleared; re-placement scheduled".to_string(),
+                            });
+                        }
+                        report.reinstated.push(id.clone());
+                    }
+                    dep.econ_suspended.clear();
+                    self.obs.incr("econ.reinstatements", Labels::none(), 1);
+                }
+            }
+        }
     }
 
     /// One re-place → re-launch → recover pass for `id`.
@@ -1124,5 +1280,111 @@ mod tests {
         assert!(json.contains("heal.evictions"));
         assert!(json.contains("heal.replayed_messages"));
         assert_eq!(obs.counter("heal.repairs", &Labels::none()), 1);
+    }
+
+    #[test]
+    fn overdue_account_degrades_suspends_and_reinstates_on_payment() {
+        use udc_economics::{PlanSpec, QuotaGate};
+
+        let mut cloud = UdcCloud::new(CloudConfig::default());
+        let obs = cloud.enable_telemetry();
+        let plan = PlanSpec {
+            name: "starter".to_string(),
+            window_us: u64::MAX,
+            credit_per_window: 0,
+            quota: udc_spec::ResourceVector::new(),
+            degrade_after_us: 10,
+            suspend_after_us: 20,
+        };
+        let mut gate = QuotaGate::new();
+        gate.open_account("tenant", plan, 0);
+        let gate = udc_economics::shared(gate);
+        cloud.attach_economics(gate.clone());
+
+        let mut dep = cloud.submit(&one_task_app(None)).unwrap();
+        let id = ModuleId::from("T");
+
+        // Run the tenant into debt out-of-band, then let the lifecycle
+        // escalate: overdue at t=5, degraded at t=15, suspended at t=30.
+        gate.lock()
+            .unwrap()
+            .account_mut("tenant")
+            .unwrap()
+            .charge(0, 500, None, "overage");
+
+        let r1 = cloud.advance(&mut dep, 5);
+        assert!(r1.suspended.is_empty(), "overdue alone must not evict");
+        assert!(dep.environments[&id].is_running());
+
+        let r2 = cloud.advance(&mut dep, 10);
+        assert!(r2.suspended.is_empty(), "degrade is advisory");
+        assert!(dep.environments[&id].is_running());
+        assert_eq!(obs.counter("econ.degradations", &Labels::none()), 1);
+
+        let r3 = cloud.advance(&mut dep, 15);
+        assert_eq!(r3.suspended, vec![id.clone()], "past grace: evicted");
+        assert!(!dep.environments[&id].is_running());
+        assert!(!dep.health.is_converged());
+        assert!(dep.econ_suspended.contains(&id));
+        {
+            let g = gate.lock().unwrap();
+            let acct = g.account("tenant").unwrap();
+            assert!(acct.is_suspended());
+            // The eviction itself is ledger-auditable.
+            assert!(acct
+                .ledger
+                .entries()
+                .iter()
+                .any(|e| e.module.as_deref() == Some("T") && e.memo == "suspension eviction"));
+        }
+
+        // A device-repair tick must NOT re-heal the suspended module.
+        cloud
+            .datacenter_mut()
+            .set_failure_plan(FailurePlan::from_events(vec![
+                crash(32, DeviceId(0)),
+                repair(33, DeviceId(0)),
+            ]));
+        let r4 = cloud.advance(&mut dep, 5);
+        assert!(r4.repaired.is_empty(), "payment, not hardware, reinstates");
+        assert!(!dep.health.is_converged());
+
+        // Payment clears the balance; the next settle reinstates and
+        // the same advance re-places the module.
+        gate.lock()
+            .unwrap()
+            .account_mut("tenant")
+            .unwrap()
+            .pay(35, 1_000);
+        let r5 = cloud.advance(&mut dep, 5);
+        assert_eq!(r5.reinstated, vec![id.clone()]);
+        assert_eq!(r5.repaired.len(), 1, "re-placed in the same interval");
+        assert!(dep.health.is_converged());
+        assert!(dep.environments[&id].is_running());
+        assert!(dep.econ_suspended.is_empty());
+        assert!(cloud.verify_deployment(&dep).all_fulfilled());
+
+        // The audit trail explains the whole lifecycle.
+        let decisions = obs.decisions();
+        let stages: Vec<&str> = decisions.iter().map(|d| d.stage.as_str()).collect();
+        assert!(stages.contains(&"econ.degrade"));
+        assert!(stages.contains(&"econ.suspend"));
+        assert!(stages.contains(&"econ.reinstate"));
+        assert!(decisions
+            .iter()
+            .filter(|d| d.stage == "econ.suspend")
+            .all(|d| d.reason == ReasonCode::Suspended && !d.accepted));
+        assert_eq!(obs.counter("econ.suspensions", &Labels::none()), 1);
+        assert_eq!(obs.counter("econ.reinstatements", &Labels::none()), 1);
+
+        cloud.teardown(&mut dep);
+        // Teardown released the admitted footprint back to the gate.
+        assert!(gate
+            .lock()
+            .unwrap()
+            .account("tenant")
+            .unwrap()
+            .in_use
+            .is_zero());
     }
 }

@@ -1,0 +1,130 @@
+//! Property-based tests for the tenant economics subsystem: ledger
+//! conservation under arbitrary charge/pay/settle interleavings, legal
+//! lifecycle transition order, and status/balance coherence after a
+//! settle — across random plans and operation streams.
+
+use proptest::prelude::*;
+use udc_economics::{AccountStatus, LifecycleEvent, PlanSpec, TenantAccount};
+use udc_spec::ResourceVector;
+
+/// A random but meaningful plan: short windows so renewals actually
+/// fire, and degrade/suspend thresholds that escalation can cross.
+fn arb_plan() -> impl Strategy<Value = PlanSpec> {
+    (1u64..50, 0u64..120, 1u64..30, 0u64..60).prop_map(
+        |(window_us, credit_per_window, degrade_after_us, extra)| PlanSpec {
+            name: "prop".to_string(),
+            window_us,
+            credit_per_window,
+            quota: ResourceVector::new(),
+            degrade_after_us,
+            suspend_after_us: degrade_after_us + extra,
+        },
+    )
+}
+
+/// One step of the op stream: advance time by `dt`, then charge, pay,
+/// or settle.
+type Op = (u8, u64, u64); // (op selector, amount, dt)
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec((0u8..3, 0u64..200, 0u64..25), 1..120)
+}
+
+/// Validates that a stream of lifecycle events only ever takes legal
+/// transitions: overdue from active, degrade after overdue, suspend
+/// after degrade, reinstate only from a non-active state.
+fn check_transitions(events: &[LifecycleEvent]) -> Result<(), String> {
+    #[derive(PartialEq, Clone, Copy, Debug)]
+    enum S {
+        Active,
+        Overdue,
+        Degraded,
+        Suspended,
+    }
+    let mut s = S::Active;
+    for ev in events {
+        s = match (s, ev) {
+            (_, LifecycleEvent::Renewed { .. }) => s,
+            (S::Active, LifecycleEvent::BecameOverdue { .. }) => S::Overdue,
+            (S::Overdue, LifecycleEvent::Degraded { .. }) => S::Degraded,
+            (S::Degraded, LifecycleEvent::Suspended { .. }) => S::Suspended,
+            (S::Overdue, LifecycleEvent::Reinstated { .. })
+            | (S::Degraded, LifecycleEvent::Reinstated { .. })
+            | (S::Suspended, LifecycleEvent::Reinstated { .. }) => S::Active,
+            (from, ev) => return Err(format!("illegal transition {from:?} -> {ev:?}")),
+        };
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Conservation holds across every interleaving: debits + balance
+    /// equals credits, sequence numbers stay dense, and the status the
+    /// account lands on after a final settle agrees with its balance.
+    #[test]
+    fn ledger_conserves_under_random_lifecycle(
+        plan in arb_plan(),
+        ops in arb_ops(),
+    ) {
+        let mut acct = TenantAccount::open("t", plan, 0);
+        let mut now = 0u64;
+        let mut events: Vec<LifecycleEvent> = Vec::new();
+        for (op, amount, dt) in ops {
+            now += dt;
+            match op {
+                0 => acct.charge(now, amount, Some("m"), "usage"),
+                1 => acct.pay(now, amount),
+                _ => events.extend(acct.settle(now)),
+            }
+            // Conservation is an invariant, not a postcondition: it
+            // must hold after every single operation.
+            prop_assert!(acct.ledger.conservation_holds());
+        }
+        events.extend(acct.settle(now + 1));
+
+        prop_assert!(acct.ledger.conservation_holds());
+        let credits = acct.ledger.total_credits() as i128;
+        let debits = acct.ledger.total_debits() as i128;
+        prop_assert_eq!(credits - debits, acct.ledger.balance_microdollars() as i128);
+
+        // Lifecycle transitions happened in a legal order.
+        if let Err(e) = check_transitions(&events) {
+            prop_assert!(false, "{}", e);
+        }
+
+        // After a settle, status and balance must agree.
+        if acct.ledger.balance_microdollars() >= 0 {
+            prop_assert_eq!(acct.status.as_str(), "active");
+        } else {
+            prop_assert!(acct.status != AccountStatus::Active,
+                "negative balance cannot settle to active");
+        }
+    }
+
+    /// Payment always reinstates: whatever hole the account dug, one
+    /// sufficiently large payment followed by a settle lands on Active.
+    #[test]
+    fn payment_always_reinstates(
+        plan in arb_plan(),
+        ops in arb_ops(),
+    ) {
+        let mut acct = TenantAccount::open("t", plan, 0);
+        let mut now = 0u64;
+        for (op, amount, dt) in ops {
+            now += dt;
+            match op {
+                0 => acct.charge(now, amount, None, "usage"),
+                1 => acct.pay(now, amount),
+                _ => { acct.settle(now); }
+            }
+        }
+        let deficit = acct.ledger.balance_microdollars().min(0).unsigned_abs();
+        acct.pay(now + 1, deficit + 1);
+        acct.settle(now + 2);
+        prop_assert_eq!(acct.status.as_str(), "active");
+        prop_assert!(!acct.is_suspended());
+        prop_assert!(acct.ledger.conservation_holds());
+    }
+}

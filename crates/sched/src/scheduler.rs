@@ -4,6 +4,7 @@ use crate::policy::{LocalityPolicy, PlacementPolicy, PolicyCtx};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
+use udc_economics::{demand_of_app, AdmissionVerdict, SharedQuotaGate};
 use udc_hal::pool::AllocConstraints;
 use udc_hal::{AllocError, Allocation, Datacenter, DeviceId};
 use udc_isolate::{select_env, EnvironmentPlan, WarmPool, WarmPoolConfig};
@@ -110,6 +111,14 @@ pub enum SchedError {
         /// Distinct devices available.
         distinct_devices: usize,
     },
+    /// The tenant economics quota gate refused admission (quota
+    /// exhausted or account suspended) before placement began.
+    QuotaDenied {
+        /// The application that was refused.
+        app: String,
+        /// The gate's verdict (failing dimension or suspension).
+        verdict: AdmissionVerdict,
+    },
 }
 
 impl fmt::Display for SchedError {
@@ -128,6 +137,23 @@ impl fmt::Display for SchedError {
                 "data module `{module}` wants {requested} replicas but only \
                  {distinct_devices} distinct devices exist"
             ),
+            SchedError::QuotaDenied { app, verdict } => match verdict {
+                AdmissionVerdict::QuotaExceeded {
+                    kind,
+                    requested,
+                    in_use,
+                    limit,
+                } => write!(
+                    f,
+                    "app `{app}` denied: {} quota exceeded \
+                     (in use {in_use} + requested {requested} > limit {limit})",
+                    kind.name()
+                ),
+                AdmissionVerdict::Suspended => {
+                    write!(f, "app `{app}` denied: tenant account is suspended")
+                }
+                AdmissionVerdict::Admit => write!(f, "app `{app}` denied (spurious)"),
+            },
         }
     }
 }
@@ -152,6 +178,10 @@ pub struct SchedOptions {
     pub conflict_policy: ConflictPolicy,
     /// Candidate-ranking policy (native or tenant extension).
     pub policy: Box<dyn PlacementPolicy>,
+    /// Tenant economics admission gate. `None` (the default) is the
+    /// ungated seed path; the same handle is shared with the control
+    /// plane, which drives renewals and the suspend lifecycle.
+    pub quota_gate: Option<SharedQuotaGate>,
 }
 
 impl Default for SchedOptions {
@@ -162,6 +192,7 @@ impl Default for SchedOptions {
             warm_pool: WarmPoolConfig::disabled(),
             conflict_policy: ConflictPolicy::StrictestWins,
             policy: Box::new(LocalityPolicy),
+            quota_gate: None,
         }
     }
 }
@@ -286,6 +317,13 @@ impl Scheduler {
         self.options.policy.name()
     }
 
+    /// Installs (or clears) the shared economics admission gate after
+    /// construction — the control plane attaches economics to an
+    /// already-built scheduler this way.
+    pub fn set_quota_gate(&mut self, gate: Option<SharedQuotaGate>) {
+        self.options.quota_gate = gate;
+    }
+
     /// Places an application: conflict resolution, validation, data
     /// modules first (so tasks can follow their affinity hints), then
     /// tasks in dependency order.
@@ -309,6 +347,57 @@ impl Scheduler {
     ) -> Result<AppPlacement, SchedError> {
         let span = self.obs.span_opt(ctx.as_ref(), "sched.place");
         let pctx = span.ctx().or(ctx);
+        // Economic admission runs before any placement work: a tenant
+        // over quota (or suspended) is refused up front, with one audit
+        // record per module so `udc-trace --explain` answers "why is my
+        // module not running" for economic denials exactly like
+        // capacity ones. Usage is committed only after placement
+        // succeeds (see below), so a failed placement never leaks quota.
+        let admission_demand = self.options.quota_gate.as_ref().map(|_| demand_of_app(app));
+        if let Some(gate) = self.options.quota_gate.clone() {
+            let demand = admission_demand.as_ref().expect("computed above");
+            let verdict = gate
+                .lock()
+                .expect("quota gate poisoned")
+                .admit(&self.options.tenant, demand);
+            if !verdict.is_admit() {
+                let (reason, detail) = match &verdict {
+                    AdmissionVerdict::QuotaExceeded {
+                        kind,
+                        requested,
+                        in_use,
+                        limit,
+                    } => (
+                        ReasonCode::QuotaExceeded,
+                        format!(
+                            "{}: in use {in_use} + requested {requested} > limit {limit}",
+                            kind.name()
+                        ),
+                    ),
+                    AdmissionVerdict::Suspended => (
+                        ReasonCode::Suspended,
+                        "tenant account suspended; pay to reinstate".to_string(),
+                    ),
+                    AdmissionVerdict::Admit => unreachable!("checked above"),
+                };
+                for id in app.modules.keys() {
+                    self.obs.decide(Decision {
+                        ctx: pctx,
+                        stage: "sched.admit",
+                        module: id.as_str(),
+                        candidate: self.options.tenant.as_str(),
+                        accepted: false,
+                        reason,
+                        score: None,
+                        detail: detail.clone(),
+                    });
+                }
+                return Err(SchedError::QuotaDenied {
+                    app: app.name.to_string(),
+                    verdict,
+                });
+            }
+        }
         if self.obs.is_enabled() {
             // `resolve` below re-runs detection; this pass only exists to
             // log what got resolved, so skip it entirely when disabled.
@@ -390,6 +479,14 @@ impl Scheduler {
             // Placement carves pools directly, bypassing the vector
             // allocator's watermark updates — refresh them here.
             dc.observe_pool_levels();
+        }
+        // Placement held: the admission estimate now counts against the
+        // tenant's quota until the control plane releases it at
+        // teardown.
+        if let (Some(gate), Some(demand)) = (&self.options.quota_gate, &admission_demand) {
+            gate.lock()
+                .expect("quota gate poisoned")
+                .commit(&self.options.tenant, demand);
         }
         Ok(placement)
     }
@@ -1117,6 +1214,63 @@ mod tests {
         app.add_edge("A1", "S1", EdgeKind::Access).unwrap();
         app.affinity("A1", "S1").unwrap();
         app
+    }
+
+    #[test]
+    fn quota_gate_denies_and_audits_then_admits_after_release() {
+        use udc_economics::{PlanSpec, QuotaGate};
+
+        let mut gate = QuotaGate::new();
+        let plan = PlanSpec {
+            // simple_app needs 4 cpu + 16 MiB ssd; cap cpu at 6 so the
+            // second copy is refused.
+            quota: ResourceVector::new().with(ResourceKind::Cpu, 6),
+            ..PlanSpec::unlimited("capped")
+        };
+        gate.open_account("tenant", plan, 0);
+        let shared = udc_economics::shared(gate);
+        let mut sched = Scheduler::new(SchedOptions {
+            quota_gate: Some(shared.clone()),
+            ..Default::default()
+        });
+        let obs = Telemetry::enabled();
+        sched.set_observer(obs.clone());
+        let mut dc = dc();
+
+        let first = sched.place_app(&mut dc, &simple_app());
+        assert!(first.is_ok(), "4 of 6 cpu fits");
+        let second = sched.place_app(&mut dc, &simple_app());
+        match second {
+            Err(SchedError::QuotaDenied { app, verdict }) => {
+                assert_eq!(app, "t");
+                assert_eq!(
+                    verdict,
+                    AdmissionVerdict::QuotaExceeded {
+                        kind: ResourceKind::Cpu,
+                        requested: 4,
+                        in_use: 4,
+                        limit: 6,
+                    }
+                );
+            }
+            other => panic!("expected quota denial, got {other:?}"),
+        }
+        // One audit record per module of the denied app.
+        let denials: Vec<_> = obs
+            .decisions()
+            .into_iter()
+            .filter(|d| d.stage == "sched.admit")
+            .collect();
+        assert_eq!(denials.len(), 2);
+        assert!(denials
+            .iter()
+            .all(|d| d.reason == ReasonCode::QuotaExceeded && !d.accepted));
+        // Releasing the first app's footprint re-opens admission.
+        shared
+            .lock()
+            .unwrap()
+            .release("tenant", &udc_economics::demand_of_app(&simple_app()));
+        assert!(sched.place_app(&mut dc, &simple_app()).is_ok());
     }
 
     #[test]

@@ -1,0 +1,169 @@
+//! Observable-equivalence proof for quota-gated admission: a scheduler
+//! carrying an **unlimited-plan** quota gate must behave exactly like
+//! the ungated seed scheduler — same placements, same failures, never a
+//! `QuotaDenied` — across random application streams. The gate is a
+//! pure pre-placement filter; when the plan doesn't bind it must be
+//! invisible.
+
+use proptest::prelude::*;
+use udc_economics::{demand_of_app, PlanSpec, QuotaGate};
+use udc_hal::{Datacenter, DatacenterConfig, FabricConfig, PoolConfig};
+use udc_sched::{SchedError, SchedOptions, Scheduler};
+use udc_spec::prelude::*;
+
+fn small_dc() -> Datacenter {
+    Datacenter::new(DatacenterConfig {
+        pools: vec![
+            PoolConfig {
+                kind: ResourceKind::Cpu,
+                devices: 8,
+                capacity_per_device: 16,
+            },
+            PoolConfig {
+                kind: ResourceKind::Gpu,
+                devices: 2,
+                capacity_per_device: 4,
+            },
+            PoolConfig {
+                kind: ResourceKind::Dram,
+                devices: 4,
+                capacity_per_device: 64 * 1024,
+            },
+            PoolConfig {
+                kind: ResourceKind::Ssd,
+                devices: 4,
+                capacity_per_device: 1024 * 1024,
+            },
+        ],
+        racks: 4,
+        fabric: FabricConfig::default(),
+    })
+}
+
+#[derive(Debug, Clone)]
+struct GenModule {
+    is_data: bool,
+    cpu: u64,
+    gpu: u64,
+    dram: u64,
+    bytes: u64,
+    replication: u32,
+}
+
+fn arb_module() -> impl Strategy<Value = GenModule> {
+    (
+        any::<bool>(),
+        0u64..6,
+        0u64..2,
+        0u64..8192,
+        1u64..(64 << 20),
+        1u32..4,
+    )
+        .prop_map(|(is_data, cpu, gpu, dram, bytes, replication)| GenModule {
+            is_data,
+            cpu,
+            gpu,
+            dram,
+            bytes,
+            replication,
+        })
+}
+
+fn build_app(name: &str, mods: &[GenModule]) -> AppSpec {
+    let mut app = AppSpec::new(name);
+    for (i, g) in mods.iter().enumerate() {
+        let mod_name = format!("M{i}");
+        if g.is_data {
+            app.add_data(
+                DataSpec::new(&mod_name)
+                    .with_bytes(g.bytes)
+                    .with_dist(DistributedAspect::default().replication(g.replication)),
+            );
+        } else {
+            let mut r = ResourceAspect::default();
+            if g.cpu > 0 {
+                r = r.with_demand(ResourceKind::Cpu, g.cpu);
+            }
+            if g.gpu > 0 {
+                r = r.with_demand(ResourceKind::Gpu, g.gpu);
+            }
+            if g.dram > 0 {
+                r = r.with_demand(ResourceKind::Dram, g.dram);
+            }
+            app.add_task(TaskSpec::new(&mod_name).with_resource(r).with_work(10));
+        }
+    }
+    app
+}
+
+/// Placement fingerprint for comparison: module → (device, kind), or
+/// the error's display string.
+fn fingerprint(
+    result: Result<udc_sched::AppPlacement, SchedError>,
+) -> Result<Vec<(ModuleId, udc_hal::DeviceId)>, String> {
+    result
+        .map(|p| {
+            p.modules
+                .iter()
+                .map(|(id, m)| (id.clone(), m.primary_device))
+                .collect()
+        })
+        .map_err(|e| e.to_string())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Equivalence over a stream of apps driven to capacity: gated
+    /// (unlimited plan) and ungated schedulers agree on every single
+    /// outcome, and the gate never issues a quota denial.
+    #[test]
+    fn unlimited_quota_gate_is_observably_equivalent_to_seed(
+        apps in prop::collection::vec(
+            prop::collection::vec(arb_module(), 1..6),
+            1..8,
+        ),
+    ) {
+        let mut gate = QuotaGate::new();
+        gate.open_account("tenant", PlanSpec::unlimited("open"), 0);
+        let shared = udc_economics::shared(gate);
+
+        let mut dc_seed = small_dc();
+        let mut dc_gated = small_dc();
+        let mut sched_seed = Scheduler::new(SchedOptions::default());
+        let mut sched_gated = Scheduler::new(SchedOptions::default());
+        sched_gated.set_quota_gate(Some(shared.clone()));
+
+        let mut committed = ResourceVector::new();
+        for (i, mods) in apps.iter().enumerate() {
+            let app = build_app(&format!("app{i}"), mods);
+            prop_assume!(app.validate().is_ok());
+            let seed = fingerprint(sched_seed.place_app(&mut dc_seed, &app));
+            let gated = fingerprint(sched_gated.place_app(&mut dc_gated, &app));
+            if let Err(msg) = &gated {
+                prop_assert!(
+                    !msg.contains("quota"),
+                    "unlimited plan must never deny: {msg}"
+                );
+            }
+            prop_assert_eq!(&seed, &gated, "outcome diverged on app{}", i);
+            // The gate's book-keeping still tracks admitted footprints.
+            if gated.is_ok() {
+                committed.saturating_add_assign(&demand_of_app(&app));
+            }
+        }
+        {
+            let g = shared.lock().unwrap();
+            let acct = g.account("tenant").unwrap();
+            for (kind, units) in committed.iter() {
+                prop_assert_eq!(acct.in_use.get(kind), units, "in_use drifted for {}", kind);
+            }
+        }
+        // Both datacenters are in identical utilization states.
+        for kind in ResourceKind::ALL {
+            let a = dc_seed.pool(kind).map(|p| p.total_used()).unwrap_or(0);
+            let b = dc_gated.pool(kind).map(|p| p.total_used()).unwrap_or(0);
+            prop_assert_eq!(a, b, "pool usage diverged for {}", kind);
+        }
+    }
+}

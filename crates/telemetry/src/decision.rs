@@ -40,13 +40,21 @@ pub enum ReasonCode {
     CrashExcluded,
     /// Re-placement capacity exhausted; the module entered degraded mode.
     Degraded,
+    /// Admission denied: the tenant's plan quota cannot cover the
+    /// requested resources (economic denial, audited like capacity).
+    QuotaExceeded,
+    /// Admission denied or module evicted because the tenant's account
+    /// is suspended (overdue past its grace period).
+    Suspended,
+    /// A spot-market bid lost the auction to a higher bidder.
+    Outbid,
 }
 
 impl ReasonCode {
     /// Every reason code, in declaration order. Exporters iterate this
     /// so a newly added variant cannot be silently missed (see the
     /// exhaustiveness test below).
-    pub const ALL: [ReasonCode; 10] = [
+    pub const ALL: [ReasonCode; 13] = [
         ReasonCode::Accepted,
         ReasonCode::Capacity,
         ReasonCode::Locality,
@@ -57,6 +65,9 @@ impl ReasonCode {
         ReasonCode::Evicted,
         ReasonCode::CrashExcluded,
         ReasonCode::Degraded,
+        ReasonCode::QuotaExceeded,
+        ReasonCode::Suspended,
+        ReasonCode::Outbid,
     ];
 
     /// Stable lower-snake name used in JSON exports.
@@ -72,6 +83,9 @@ impl ReasonCode {
             ReasonCode::Evicted => "evicted",
             ReasonCode::CrashExcluded => "crash_excluded",
             ReasonCode::Degraded => "degraded",
+            ReasonCode::QuotaExceeded => "quota_exceeded",
+            ReasonCode::Suspended => "suspended",
+            ReasonCode::Outbid => "outbid",
         }
     }
 
@@ -271,7 +285,10 @@ mod tests {
                 | ReasonCode::FailureDomain
                 | ReasonCode::Evicted
                 | ReasonCode::CrashExcluded
-                | ReasonCode::Degraded => {}
+                | ReasonCode::Degraded
+                | ReasonCode::QuotaExceeded
+                | ReasonCode::Suspended
+                | ReasonCode::Outbid => {}
             }
         }
         // Names are unique and round-trip through the parser.
