@@ -21,6 +21,14 @@
 //! - [`log::MessageLog`] — reliable message recording enabling
 //!   replay-based recovery (consumed by `udc-dist`), with an indexed
 //!   replay suffix and checkpoint-driven truncation;
+//! - [`par::ParSystem`] — the work-stealing parallel executor: the same
+//!   slot/rank layout partitioned into worker shards, barrier-
+//!   synchronized rounds, per-shard telemetry hubs merged at barriers,
+//!   and a merged [`log::MessageLog`] with the same per-actor replay
+//!   guarantees;
+//! - [`runtime::ActorRuntime`] — the object-safe executor trait all
+//!   three systems implement, so replay/recovery consumers are
+//!   executor-agnostic;
 //! - [`supervise::SupervisionPolicy`] — restart/drop/escalate handling
 //!   of actor failures;
 //! - [`parallel::ThreadPool`] — a crossbeam-based threaded executor for
@@ -29,13 +37,19 @@
 pub mod actor;
 pub mod log;
 pub mod naive;
+pub mod par;
 pub mod parallel;
+mod readiness;
+pub mod runtime;
+mod slab;
 pub mod supervise;
 pub mod system;
 
 pub use actor::{Actor, ActorError, ActorId, Ctx, Message};
 pub use log::MessageLog;
 pub use naive::NaiveSystem;
+pub use par::ParSystem;
 pub use parallel::ThreadPool;
+pub use runtime::ActorRuntime;
 pub use supervise::SupervisionPolicy;
 pub use system::{ActorRef, System, SystemStats};

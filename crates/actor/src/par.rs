@@ -1,0 +1,1269 @@
+//! `ParSystem` — the work-stealing parallel actor executor.
+//!
+//! The same dense-slot / rank-order layout as [`crate::system::System`]
+//! (shared via [`crate::slab::SlotTable`]), partitioned across a crew of
+//! worker threads in contiguous, bitmap-word-aligned rank shards
+//! ([`crate::slab::shard_ranges`]). Execution is organized as
+//! barrier-synchronized *rounds*:
+//!
+//! 1. **Worklist build (parallel).** Each worker scans its own shard's
+//!    segment of the [`crate::readiness::AtomicReadySet`] and snapshots
+//!    the ready ranks into a local worklist, publishing a packed
+//!    `(next, limit)` claim word.
+//! 2. **Execute + steal (parallel).** A worker claims small batches off
+//!    the *front* of its own worklist with a CAS; when it runs dry it
+//!    steals the *back half* of a victim's remaining range. Each claimed
+//!    rank is owned exclusively (the claim word linearizes ownership),
+//!    so the worker mutates that actor's slot directly: pops the front
+//!    message, runs the handler with supervision (restart / one retry /
+//!    stop), and writes the outcome into the round's staging cell for
+//!    that worklist index. Mailbox drains clear ready bits; nothing sets
+//!    bits during this phase, so relaxed atomics + the round barrier are
+//!    the only synchronization the bitmap needs.
+//! 3. **Barrier (single-threaded).** The coordinator walks shards in
+//!    order and worklist indices in order — which is ascending global
+//!    rank order, no sorting required — assigning each fired delivery
+//!    its sequence number, appending successes to the shared
+//!    [`MessageLog`], minting `actor.deliver` spans for traced
+//!    deliveries on the *main* hub (workers never touch the span
+//!    store), draining buffered outboxes into mailboxes, folding worker
+//!    stat deltas, and absorbing each shard's private telemetry hub
+//!    with [`udc_telemetry::Telemetry::absorb_draining`].
+//!
+//! Because every cross-actor effect (sends, seq assignment, log append)
+//! is applied at the barrier in rank order, the log, stats, and final
+//! actor state are **byte-identical at any thread count** — work
+//! stealing only moves *which worker* runs a handler, never the order
+//! effects are applied. Against the deterministic [`System`] the
+//! contract is deliberately weaker (see `DESIGN.md` §14): `System`
+//! delivers same-round cascades mid-round, `ParSystem` defers them to
+//! the next round, so round structure differs — but for
+//! commutativity-respecting workloads (handlers that don't read
+//! `Message::seq`, under `Restart`/`RestartAndRetry` supervision) the
+//! per-actor message order and final actor state are identical, which
+//! the three-way proptest oracle in `tests/prop_equiv.rs` checks
+//! against both `System` and the seed `NaiveSystem`.
+
+use crate::actor::{Actor, ActorId, Ctx, Message};
+use crate::log::MessageLog;
+use crate::readiness::AtomicReadySet;
+use crate::slab::{shard_ranges, Slot, SlotTable, SpawnEffect};
+use crate::supervise::SupervisionPolicy;
+use crate::system::{ActorRef, SystemStats};
+use bytes::Bytes;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use udc_telemetry::{CounterHandle, GaugeHandle, Labels, Telemetry, TraceCtx};
+
+/// How many worklist entries a worker claims from its own shard per
+/// CAS. Small enough to leave meat for stealers, large enough that the
+/// claim word isn't contended per message.
+const CLAIM_BATCH: u32 = 16;
+
+/// Claim-word value meaning "this shard has not published its worklist
+/// yet" — stealers skip it and keep the round alive until it appears.
+const UNPUBLISHED: u64 = u64::MAX;
+
+#[inline]
+fn pack(next: u32, limit: u32) -> u64 {
+    ((limit as u64) << 32) | next as u64
+}
+
+#[inline]
+fn unpack(word: u64) -> (u32, u32) {
+    (word as u32, (word >> 32) as u32)
+}
+
+/// Outcome of one fired rank, written by exactly one worker into the
+/// staging cell matching the rank's worklist index, consumed by the
+/// coordinator at the barrier.
+#[derive(Default)]
+struct Fired {
+    trace: Option<TraceCtx>,
+    /// Handler attempts that returned `Err` (0, 1, or 2 with retry);
+    /// the barrier mints one deliver span per attempt, as `System` does.
+    failed_attempts: u8,
+    /// The delivered message, present iff some attempt succeeded; the
+    /// barrier assigns its seq and appends it to the log.
+    msg: Option<Message>,
+    /// Sender id for outbox sends (set only when the outbox is
+    /// non-empty).
+    from: Option<ActorId>,
+    outbox: Vec<(ActorId, Bytes)>,
+}
+
+/// A staging cell one worker writes and the coordinator reads after the
+/// barrier. The claim protocol guarantees exclusive access per index.
+#[derive(Default)]
+struct StageCell(UnsafeCell<Fired>);
+
+// SAFETY: cells are written by exactly one worker (the one that claimed
+// the index) during the parallel phase and read only by the coordinator
+// after the crew barrier; the barrier's mutex provides the
+// happens-before edge.
+unsafe impl Sync for StageCell {}
+
+/// Per-worker effects of one parallel phase, folded by the coordinator.
+#[derive(Default, Clone, Copy)]
+struct WorkerDelta {
+    delivered: u64,
+    failures: u64,
+    restarts: u64,
+    dead_letters: u64,
+    /// Messages removed from mailboxes: fired deliveries plus mailboxes
+    /// cleared by `Stop` supervision.
+    popped: usize,
+    /// Messages pushed by a batch injection.
+    injected: usize,
+    /// Deepest mailbox this worker produced while injecting.
+    max_depth: i64,
+    /// Steal batches this worker took from victims.
+    steals: u64,
+    /// Messages this worker executed (own + stolen) — feeds the
+    /// `par.shard_imbalance` gauge.
+    executed: u64,
+}
+
+/// Per-shard private telemetry: lock-free handles into the shard's own
+/// hub, the only telemetry a worker touches on the hot path.
+#[derive(Default)]
+struct ShardHub {
+    executed_h: CounterHandle,
+    steals_h: CounterHandle,
+    injected_h: CounterHandle,
+}
+
+/// Everything a worker needs for one execution round, lifetime-bound to
+/// the coordinator's `&mut self` and shared with the crew by reference.
+/// Raw pointers address per-shard structures (worklists, staging,
+/// deltas) and the slot slab; disjointness is by shard index or by the
+/// claim protocol.
+struct RoundCtx<'a> {
+    slots: *mut Slot,
+    order: &'a [u32],
+    ready: &'a AtomicReadySet,
+    ranges: &'a [(u32, u32)],
+    worklists: *mut Vec<u32>,
+    staging: *mut Vec<StageCell>,
+    claims: &'a [AtomicU64],
+    deltas: *mut WorkerDelta,
+    hubs: &'a [ShardHub],
+    threads: usize,
+}
+
+// SAFETY: see the field-by-field discipline above; every mutable access
+// through the raw pointers is either indexed by the worker's own shard
+// or guarded by a successful claim CAS.
+unsafe impl Sync for RoundCtx<'_> {}
+unsafe impl Send for RoundCtx<'_> {}
+
+/// One batch-injection round: workers scan the shared batch and push
+/// only the items whose target rank falls in their shard.
+struct InjectCtx<'a> {
+    slots: *mut Slot,
+    /// slot → rank, rebuilt at rank refresh; immutable during the round.
+    slot_rank: &'a [u32],
+    ready: &'a AtomicReadySet,
+    ranges: &'a [(u32, u32)],
+    batch: &'a [(ActorRef, Bytes)],
+    deltas: *mut WorkerDelta,
+    hubs: &'a [ShardHub],
+}
+
+// SAFETY: a slot is mutated only by the worker whose shard owns its
+// rank; `slot_rank` is read-only shared state.
+unsafe impl Sync for InjectCtx<'_> {}
+unsafe impl Send for InjectCtx<'_> {}
+
+/// Erased job pointer handed to the crew; valid for the duration of one
+/// `Crew::run` call (the coordinator blocks until every worker is done).
+struct JobPtr(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is Sync and outlives the dispatch (see
+// `Crew::run`).
+unsafe impl Send for JobPtr {}
+
+struct CtlState {
+    epoch: u64,
+    job: Option<JobPtr>,
+    remaining: usize,
+    shutdown: bool,
+    /// Set when a worker's job panicked; the coordinator re-panics
+    /// after the round instead of hanging on a dead thread.
+    panicked: bool,
+}
+
+struct Ctl {
+    state: Mutex<CtlState>,
+    start: Condvar,
+    done: Condvar,
+}
+
+/// A persistent crew of worker threads woken per round. One mutex + two
+/// condvars: `start` publishes a new epoch + job, `done` signals the
+/// last worker finishing. Threads park between rounds, so an idle
+/// `ParSystem` costs nothing but memory.
+struct Crew {
+    ctl: Arc<Ctl>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Crew {
+    fn spawn(workers: usize) -> Self {
+        let ctl = Arc::new(Ctl {
+            state: Mutex::new(CtlState {
+                epoch: 0,
+                job: None,
+                remaining: 0,
+                shutdown: false,
+                panicked: false,
+            }),
+            start: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|w| {
+                let ctl = Arc::clone(&ctl);
+                std::thread::Builder::new()
+                    .name(format!("udc-par-{w}"))
+                    .spawn(move || worker_loop(&ctl, w))
+                    .expect("spawning par worker")
+            })
+            .collect();
+        Self { ctl, handles }
+    }
+
+    /// Runs `job(w)` on every worker and blocks until all finish.
+    fn run(&self, job: &(dyn Fn(usize) + Sync)) {
+        // SAFETY: the borrow is erased to 'static only for the lifetime
+        // of this call — the wait loop below does not return until every
+        // worker has finished running the job, and `job` is cleared
+        // before the pointer could dangle.
+        let ptr: *const (dyn Fn(usize) + Sync) =
+            unsafe { std::mem::transmute(job as *const (dyn Fn(usize) + Sync)) };
+        {
+            let mut st = self.ctl.state.lock().expect("par crew poisoned");
+            st.job = Some(JobPtr(ptr));
+            st.epoch += 1;
+            st.remaining = self.handles.len();
+            self.ctl.start.notify_all();
+        }
+        let mut st = self.ctl.state.lock().expect("par crew poisoned");
+        while st.remaining > 0 {
+            st = self.ctl.done.wait(st).expect("par crew poisoned");
+        }
+        st.job = None;
+        assert!(!st.panicked, "a par worker panicked during the round");
+    }
+}
+
+impl Drop for Crew {
+    fn drop(&mut self) {
+        {
+            let mut st = self.ctl.state.lock().expect("par crew poisoned");
+            st.shutdown = true;
+            self.ctl.start.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(ctl: &Ctl, w: usize) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut st = ctl.state.lock().expect("par crew poisoned");
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen {
+                    seen = st.epoch;
+                    break st.job.as_ref().expect("epoch bumped without a job").0;
+                }
+                st = ctl.start.wait(st).expect("par crew poisoned");
+            }
+        };
+        // SAFETY: the coordinator keeps the job alive until `remaining`
+        // hits zero, which happens strictly after this call returns.
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe { (*job)(w) }));
+        let mut st = ctl.state.lock().expect("par crew poisoned");
+        if outcome.is_err() {
+            st.panicked = true;
+        }
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            ctl.done.notify_one();
+        }
+    }
+}
+
+/// Claims up to `max` entries off the front of a shard's worklist.
+fn take_front(claim: &AtomicU64, max: u32) -> Option<(u32, u32)> {
+    let mut cur = claim.load(Ordering::Acquire);
+    loop {
+        if cur == UNPUBLISHED {
+            return None;
+        }
+        let (next, limit) = unpack(cur);
+        if next >= limit {
+            return None;
+        }
+        let take = max.min(limit - next);
+        match claim.compare_exchange_weak(
+            cur,
+            pack(next + take, limit),
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => return Some((next, next + take)),
+            Err(c) => cur = c,
+        }
+    }
+}
+
+/// Steals the back half of a victim's unclaimed range (at least 2
+/// entries remaining — a single leftover item belongs to the owner).
+fn steal_back(claim: &AtomicU64) -> Option<(u32, u32)> {
+    let mut cur = claim.load(Ordering::Acquire);
+    loop {
+        if cur == UNPUBLISHED {
+            return None;
+        }
+        let (next, limit) = unpack(cur);
+        let remaining = limit.saturating_sub(next);
+        if remaining < 2 {
+            return None;
+        }
+        let take = remaining / 2;
+        match claim.compare_exchange_weak(
+            cur,
+            pack(next, limit - take),
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => return Some((limit - take, limit)),
+            Err(c) => cur = c,
+        }
+    }
+}
+
+/// One worker's share of an execution round: build + publish the
+/// shard's worklist, then drain own work and steal until the round is
+/// globally dry.
+fn run_round_worker(rc: &RoundCtx<'_>, w: usize) {
+    // Phase 1: snapshot this shard's ready ranks.
+    // SAFETY: worklist/staging index `w` are this worker's own until
+    // published; other workers only read them after the Release store
+    // of the claim word below.
+    let wl = unsafe { &mut *rc.worklists.add(w) };
+    wl.clear();
+    let (lo, hi) = rc.ranges[w];
+    rc.ready.for_set_in(lo, hi, |r| wl.push(r));
+    let st = unsafe { &mut *rc.staging.add(w) };
+    st.clear();
+    st.resize_with(wl.len(), StageCell::default);
+    rc.claims[w].store(pack(0, wl.len() as u32), Ordering::Release);
+
+    // Phase 2: execute own front batches, then steal back halves.
+    let mut d = WorkerDelta::default();
+    'work: loop {
+        if let Some((a, b)) = take_front(&rc.claims[w], CLAIM_BATCH) {
+            execute_range(rc, w, a, b, &mut d);
+            continue;
+        }
+        let mut unfinished = false;
+        for off in 1..rc.threads {
+            let v = (w + off) % rc.threads;
+            let cur = rc.claims[v].load(Ordering::Acquire);
+            if cur == UNPUBLISHED {
+                unfinished = true;
+                continue;
+            }
+            let (next, limit) = unpack(cur);
+            if next < limit {
+                if let Some((a, b)) = steal_back(&rc.claims[v]) {
+                    d.steals += 1;
+                    execute_range(rc, v, a, b, &mut d);
+                    continue 'work;
+                }
+                // Lost the race; the victim may still have work next
+                // time around.
+                unfinished = true;
+            }
+        }
+        if !unfinished {
+            break;
+        }
+        std::thread::yield_now();
+    }
+    rc.hubs[w].executed_h.incr(d.executed);
+    rc.hubs[w].steals_h.incr(d.steals);
+    // SAFETY: delta slot `w` is this worker's own.
+    unsafe { *rc.deltas.add(w) = d };
+}
+
+/// Executes worklist indices `[a, b)` of shard `v` (claimed by the
+/// caller): pop, handle with supervision, stage the outcome.
+fn execute_range(rc: &RoundCtx<'_>, v: usize, a: u32, b: u32, d: &mut WorkerDelta) {
+    // SAFETY: shard `v` published its worklist/staging before the claim
+    // that got us here (Release/Acquire on the claim word); both are
+    // read-only shared now except the claimed staging cells.
+    let wl = unsafe { &*rc.worklists.add(v) };
+    let st = unsafe { &*rc.staging.add(v) };
+    for i in a..b {
+        let rank = wl[i as usize];
+        let slot_idx = rc.order[rank as usize] as usize;
+        // SAFETY: rank appears in exactly one worklist exactly once, and
+        // this claim owns index `i`; distinct ranks address distinct
+        // slots, so this is the only live reference to the slot.
+        let slot = unsafe { &mut *rc.slots.add(slot_idx) };
+        debug_assert!(!slot.stopped, "stopped actors are never ready");
+        let msg = slot
+            .mailbox
+            .pop_front()
+            .expect("ready rank with empty mailbox");
+        d.popped += 1;
+        d.executed += 1;
+        if slot.mailbox.is_empty() {
+            rc.ready.clear(rank);
+        }
+        let mut fired = Fired {
+            trace: msg.trace,
+            ..Fired::default()
+        };
+        let mut retry_left = true;
+        loop {
+            let mut ctx = Ctx {
+                trace: fired.trace,
+                ..Ctx::default()
+            };
+            match slot.actor.on_message(&mut ctx, &msg) {
+                Ok(()) => {
+                    d.delivered += 1;
+                    if !ctx.outbox.is_empty() {
+                        fired.from = Some(slot.id.clone());
+                        fired.outbox = ctx.outbox;
+                    }
+                    fired.msg = Some(msg);
+                    break;
+                }
+                Err(_) => {
+                    d.failures += 1;
+                    fired.failed_attempts += 1;
+                    match slot.policy {
+                        SupervisionPolicy::Restart => {
+                            slot.actor.reset();
+                            d.restarts += 1;
+                            break;
+                        }
+                        SupervisionPolicy::RestartAndRetry => {
+                            slot.actor.reset();
+                            d.restarts += 1;
+                            if retry_left {
+                                // Same delivery attempt as `System`: one
+                                // retry, same message, same (eventual)
+                                // seq.
+                                retry_left = false;
+                                continue;
+                            }
+                            break;
+                        }
+                        SupervisionPolicy::Stop => {
+                            slot.stopped = true;
+                            d.popped += slot.mailbox.len();
+                            slot.mailbox.clear();
+                            rc.ready.clear(rank);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        // SAFETY: this claim owns staging index `i` of shard `v`.
+        unsafe { *st[i as usize].0.get() = fired };
+    }
+}
+
+/// One worker's share of a batch injection: push every batch item whose
+/// target rank lies in this worker's shard, in batch order.
+fn run_inject_worker(ic: &InjectCtx<'_>, w: usize) {
+    let (lo, hi) = ic.ranges[w];
+    let mut d = WorkerDelta::default();
+    for (at, payload) in ic.batch {
+        let rank = ic.slot_rank[at.0 as usize];
+        if rank < lo || rank >= hi {
+            continue;
+        }
+        // SAFETY: the rank is in this worker's shard, so no other
+        // worker touches this slot during the injection round.
+        let slot = unsafe { &mut *ic.slots.add(at.0 as usize) };
+        if slot.stopped {
+            d.dead_letters += 1;
+            continue;
+        }
+        if slot.mailbox.capacity() == 0 {
+            slot.mailbox.reserve(16);
+        }
+        slot.mailbox.push_back(Message {
+            from: None,
+            to: slot.id.clone(),
+            payload: payload.clone(),
+            seq: 0,
+            trace: None,
+        });
+        let depth = slot.mailbox.len();
+        d.injected += 1;
+        if depth == 1 {
+            ic.ready.set(rank);
+        }
+        if depth as i64 > d.max_depth {
+            d.max_depth = depth as i64;
+        }
+    }
+    ic.hubs[w].injected_h.incr(d.injected as u64);
+    // SAFETY: delta slot `w` is this worker's own.
+    unsafe { *ic.deltas.add(w) = d };
+}
+
+/// The work-stealing parallel actor executor. See the module docs for
+/// the round protocol and the determinism contract; the public API
+/// mirrors [`System`] (plus [`ParSystem::inject_batch`], the parallel
+/// injection path).
+pub struct ParSystem {
+    threads: usize,
+    table: SlotTable,
+    ready: AtomicReadySet,
+    /// slot → rank, rebuilt with the rank order; lets injection rounds
+    /// route a pre-resolved [`ActorRef`] to its shard without touching
+    /// the slot.
+    slot_rank: Vec<u32>,
+    ranges: Vec<(u32, u32)>,
+    worklists: Vec<Vec<u32>>,
+    staging: Vec<Vec<StageCell>>,
+    claims: Vec<AtomicU64>,
+    deltas: Vec<WorkerDelta>,
+    queued: usize,
+    log: MessageLog,
+    next_seq: u64,
+    stats: SystemStats,
+    obs: Telemetry,
+    shard_obs: Vec<Telemetry>,
+    hubs: Vec<ShardHub>,
+    mailbox_hw: i64,
+    delivered_h: CounterHandle,
+    failures_h: CounterHandle,
+    restarts_h: CounterHandle,
+    dead_letters_h: CounterHandle,
+    mailbox_depth_h: GaugeHandle,
+    imbalance_h: GaugeHandle,
+    crew: Option<Crew>,
+}
+
+impl ParSystem {
+    /// Creates an executor with `threads` worker shards (clamped to at
+    /// least 1). `threads == 1` runs every round inline on the calling
+    /// thread — no crew, no wakeups — and is the reference point the
+    /// cross-thread-count determinism tests compare against.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        Self {
+            threads,
+            table: SlotTable::default(),
+            ready: AtomicReadySet::default(),
+            slot_rank: Vec::new(),
+            ranges: shard_ranges(0, threads),
+            worklists: (0..threads).map(|_| Vec::new()).collect(),
+            staging: (0..threads).map(|_| Vec::new()).collect(),
+            claims: (0..threads).map(|_| AtomicU64::new(UNPUBLISHED)).collect(),
+            deltas: vec![WorkerDelta::default(); threads],
+            queued: 0,
+            log: MessageLog::default(),
+            next_seq: 0,
+            stats: SystemStats::default(),
+            obs: Telemetry::default(),
+            shard_obs: vec![Telemetry::default(); threads],
+            hubs: (0..threads).map(|_| ShardHub::default()).collect(),
+            mailbox_hw: 0,
+            delivered_h: CounterHandle::default(),
+            failures_h: CounterHandle::default(),
+            restarts_h: CounterHandle::default(),
+            dead_letters_h: CounterHandle::default(),
+            mailbox_depth_h: GaugeHandle::default(),
+            imbalance_h: GaugeHandle::default(),
+            crew: None,
+        }
+    }
+
+    /// Number of worker shards.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Installs the observability hub. The main hub gets the same
+    /// `actor.*` counters and `actor.mailbox_depth` gauge as [`System`],
+    /// plus a `par.shard_imbalance` gauge (spread between the busiest
+    /// and laziest worker per round — diagnostic only, inherently
+    /// timing-dependent). Each shard additionally gets a *private* hub
+    /// with `par.executed` / `par.steals` / `par.injected` counters
+    /// under `module=shard<i>` labels, incremented by workers through
+    /// lock-free handles and folded into the main hub at every round
+    /// barrier via [`Telemetry::absorb_draining`].
+    pub fn set_observer(&mut self, obs: Telemetry) {
+        self.delivered_h = obs.counter_handle("actor.delivered", &Labels::none());
+        self.failures_h = obs.counter_handle("actor.failures", &Labels::none());
+        self.restarts_h = obs.counter_handle("actor.restarts", &Labels::none());
+        self.dead_letters_h = obs.counter_handle("actor.dead_letters", &Labels::none());
+        self.mailbox_depth_h = obs.gauge_handle("actor.mailbox_depth", &Labels::none());
+        self.imbalance_h = obs.gauge_handle("par.shard_imbalance", &Labels::none());
+        for i in 0..self.threads {
+            let hub = if obs.is_enabled() {
+                Telemetry::enabled()
+            } else {
+                Telemetry::disabled()
+            };
+            let labels = Labels::module("par", format!("shard{i}"));
+            self.hubs[i] = ShardHub {
+                executed_h: hub.counter_handle("par.executed", &labels),
+                steals_h: hub.counter_handle("par.steals", &labels),
+                injected_h: hub.counter_handle("par.injected", &labels),
+            };
+            self.shard_obs[i] = hub;
+        }
+        self.obs = obs;
+    }
+
+    /// Registers an actor under `id` with a supervision policy,
+    /// replacing any existing registration with the same id (identical
+    /// semantics to [`System::spawn`]).
+    pub fn spawn(
+        &mut self,
+        id: impl Into<ActorId>,
+        actor: Box<dyn Actor>,
+        policy: SupervisionPolicy,
+    ) {
+        let dirty_before = self.table.ranks_dirty();
+        match self.table.spawn(id.into(), actor, policy) {
+            SpawnEffect::Reused { cleared, rank } => {
+                self.queued -= cleared;
+                if !dirty_before {
+                    self.ready.clear(rank);
+                }
+            }
+            SpawnEffect::Fresh => {}
+        }
+    }
+
+    /// Enqueues an external message.
+    pub fn inject(&mut self, to: impl Into<ActorId>, payload: impl Into<Bytes>) {
+        self.enqueue(Message::external(to, payload));
+    }
+
+    /// Enqueues an external message under an explicit trace context.
+    pub fn inject_traced(
+        &mut self,
+        to: impl Into<ActorId>,
+        payload: impl Into<Bytes>,
+        ctx: TraceCtx,
+    ) {
+        self.enqueue(Message::external_traced(to, payload, ctx));
+    }
+
+    /// Resolves an id to its injection handle (see [`System::resolve`];
+    /// the handles are interchangeable in meaning, not across systems).
+    pub fn resolve(&self, id: &ActorId) -> Option<ActorRef> {
+        self.table.lookup(id).map(ActorRef)
+    }
+
+    /// Enqueues an external message through a pre-resolved handle.
+    pub fn inject_at(&mut self, at: ActorRef, payload: impl Into<Bytes>) {
+        let s = self.table.slot_mut(at.0);
+        if s.stopped {
+            self.stats.dead_letters += 1;
+            self.dead_letters_h.incr(1);
+            return;
+        }
+        let msg = Message {
+            from: None,
+            to: s.id.clone(),
+            payload: payload.into(),
+            seq: 0,
+            trace: None,
+        };
+        if s.mailbox.capacity() == 0 {
+            s.mailbox.reserve(16);
+        }
+        s.mailbox.push_back(msg);
+        let (depth, rank) = (s.mailbox.len(), s.rank);
+        self.note_enqueued(depth, rank);
+    }
+
+    /// Enqueues a whole batch of pre-resolved external messages with the
+    /// workers pushing in parallel: each worker scans the batch and
+    /// claims the items whose target rank falls in its shard, so every
+    /// mailbox receives its messages in batch order and the result is
+    /// identical to calling [`ParSystem::inject_at`] per item — minus
+    /// the serial per-message cost, which is what Amdahl's law demands
+    /// off the storm path (serial injection is ~30% of the
+    /// single-threaded ping-storm budget).
+    pub fn inject_batch(&mut self, batch: &[(ActorRef, Bytes)]) {
+        if batch.is_empty() {
+            return;
+        }
+        self.refresh_ranks();
+        if self.threads == 1 {
+            for (at, payload) in batch {
+                self.inject_at(*at, payload.clone());
+            }
+            return;
+        }
+        self.ensure_crew();
+        let ic = InjectCtx {
+            slots: self.table.slots_mut().as_mut_ptr(),
+            slot_rank: &self.slot_rank,
+            ready: &self.ready,
+            ranges: &self.ranges,
+            batch,
+            deltas: self.deltas.as_mut_ptr(),
+            hubs: &self.hubs,
+        };
+        let crew = self.crew.as_ref().expect("crew just ensured");
+        crew.run(&|w| run_inject_worker(&ic, w));
+        let mut dead = 0u64;
+        let mut max_depth = 0i64;
+        for d in &self.deltas {
+            self.queued += d.injected;
+            dead += d.dead_letters;
+            max_depth = max_depth.max(d.max_depth);
+        }
+        if dead > 0 {
+            self.stats.dead_letters += dead;
+            self.dead_letters_h.incr(dead);
+        }
+        if max_depth > self.mailbox_hw {
+            self.mailbox_hw = max_depth;
+            self.mailbox_depth_h.set(max_depth);
+        }
+        self.absorb_shards();
+    }
+
+    #[inline]
+    fn enqueue(&mut self, msg: Message) {
+        let slot = match self.table.lookup(&msg.to) {
+            Some(s) if !self.table.slot(s).stopped => s,
+            _ => {
+                self.stats.dead_letters += 1;
+                self.dead_letters_h.incr(1);
+                return;
+            }
+        };
+        let s = self.table.slot_mut(slot);
+        if s.mailbox.capacity() == 0 {
+            s.mailbox.reserve(16);
+        }
+        s.mailbox.push_back(msg);
+        let (depth, rank) = (s.mailbox.len(), s.rank);
+        self.note_enqueued(depth, rank);
+    }
+
+    #[inline]
+    fn note_enqueued(&mut self, depth: usize, rank: u32) {
+        self.queued += 1;
+        if depth == 1 && !self.table.ranks_dirty() {
+            self.ready.set(rank);
+        }
+        if depth as i64 > self.mailbox_hw {
+            self.mailbox_hw = depth as i64;
+            self.mailbox_depth_h.set(depth as i64);
+        }
+    }
+
+    /// Rebuilds rank order, the atomic ready bitmap, the slot→rank map,
+    /// and the shard partition after new spawns.
+    fn refresh_ranks(&mut self) {
+        if !self.table.ranks_dirty() {
+            return;
+        }
+        self.ready.reset(self.table.len());
+        let ready = &self.ready;
+        self.table.refresh_ranks(|rank| ready.set(rank));
+        self.ranges = shard_ranges(self.table.ranks(), self.threads);
+        self.slot_rank.clear();
+        self.slot_rank
+            .extend(self.table.slots().iter().map(|s| s.rank));
+    }
+
+    fn ensure_crew(&mut self) {
+        if self.threads > 1 && self.crew.is_none() {
+            self.crew = Some(Crew::spawn(self.threads));
+        }
+    }
+
+    /// Folds every shard hub into the main hub (draining, so round
+    /// merges are additive). No-op when telemetry is disabled.
+    fn absorb_shards(&mut self) {
+        if !self.obs.is_enabled() {
+            return;
+        }
+        for hub in &self.shard_obs {
+            self.obs.absorb_draining(hub);
+        }
+    }
+
+    /// Delivers at most one message to each ready actor. Returns the
+    /// number of messages handled (fired ranks, successful or not).
+    ///
+    /// Unlike [`System::step`], messages sent during the round are
+    /// buffered and enqueued at the barrier, so they always fire in a
+    /// *later* round regardless of sender/receiver rank order.
+    pub fn step(&mut self) -> usize {
+        self.refresh_ranks();
+        if self.queued == 0 {
+            return 0;
+        }
+        self.log.reserve(self.queued);
+
+        // Parallel phase.
+        for c in &self.claims {
+            c.store(UNPUBLISHED, Ordering::Relaxed);
+        }
+        let threads = self.threads;
+        {
+            let (slots, order) = self.table.parts_mut();
+            let rc = RoundCtx {
+                slots: slots.as_mut_ptr(),
+                order,
+                ready: &self.ready,
+                ranges: &self.ranges,
+                worklists: self.worklists.as_mut_ptr(),
+                staging: self.staging.as_mut_ptr(),
+                claims: &self.claims,
+                deltas: self.deltas.as_mut_ptr(),
+                hubs: &self.hubs,
+                threads,
+            };
+            if threads == 1 {
+                run_round_worker(&rc, 0);
+            } else {
+                if self.crew.is_none() {
+                    self.crew = Some(Crew::spawn(threads));
+                }
+                let crew = self.crew.as_ref().expect("crew just ensured");
+                crew.run(&|w| run_round_worker(&rc, w));
+            }
+        }
+
+        // Fold worker deltas.
+        let (mut delivered, mut failures, mut restarts) = (0u64, 0u64, 0u64);
+        let (mut max_exec, mut min_exec) = (0u64, u64::MAX);
+        for d in &self.deltas {
+            delivered += d.delivered;
+            failures += d.failures;
+            restarts += d.restarts;
+            self.queued -= d.popped;
+            max_exec = max_exec.max(d.executed);
+            min_exec = min_exec.min(d.executed);
+        }
+        self.stats.delivered += delivered;
+        self.stats.failures += failures;
+        self.stats.restarts += restarts;
+        if delivered > 0 {
+            self.delivered_h.incr(delivered);
+        }
+        if failures > 0 {
+            self.failures_h.incr(failures);
+        }
+        if restarts > 0 {
+            self.restarts_h.incr(restarts);
+        }
+        self.imbalance_h
+            .set(max_exec.saturating_sub(min_exec.min(max_exec)) as i64);
+
+        // Barrier: apply staged effects in ascending global rank order
+        // (shards partition the rank space in order; worklists are
+        // ascending within a shard).
+        let mut handled = 0usize;
+        for v in 0..self.threads {
+            for i in 0..self.worklists[v].len() {
+                handled += 1;
+                let fired = std::mem::take(self.staging[v][i].0.get_mut());
+                self.next_seq += 1;
+                let traced = fired.trace.is_some() && self.obs.is_enabled();
+                let mut dctx = fired.trace;
+                if traced {
+                    // One deliver span per failed attempt, as `System`
+                    // mints (opened and closed at the barrier tick).
+                    for _ in 0..fired.failed_attempts {
+                        drop(self.obs.span_opt(fired.trace.as_ref(), "actor.deliver"));
+                    }
+                }
+                let Some(mut m) = fired.msg else {
+                    // Total failure: the seq is consumed (a gap, exactly
+                    // as in `System`), nothing is logged.
+                    continue;
+                };
+                if traced {
+                    let span = self.obs.span_opt(fired.trace.as_ref(), "actor.deliver");
+                    dctx = span.ctx().or(fired.trace);
+                }
+                m.seq = self.next_seq;
+                self.log.record(m);
+                if !fired.outbox.is_empty() {
+                    let from = fired.from;
+                    for (to, payload) in fired.outbox {
+                        self.enqueue(Message {
+                            from: from.clone(),
+                            to,
+                            payload,
+                            seq: 0,
+                            trace: dctx,
+                        });
+                    }
+                }
+            }
+        }
+        self.absorb_shards();
+        handled
+    }
+
+    /// Runs until no mailbox has messages, or `max_steps` rounds elapse.
+    pub fn run_until_quiescent(&mut self, max_steps: usize) -> (u64, bool) {
+        let mut total = 0u64;
+        for _ in 0..max_steps {
+            let handled = self.step();
+            if handled == 0 {
+                return (total, true);
+            }
+            total += handled as u64;
+        }
+        (total, !self.has_pending())
+    }
+
+    /// True when any mailbox still has messages (O(1)).
+    pub fn has_pending(&self) -> bool {
+        self.queued > 0
+    }
+
+    /// The merged reliable message log: one global, seq-ordered log with
+    /// per-actor ascending seqs, same as [`System::log`] — replay and
+    /// checkpoint consumers cannot tell which executor produced it.
+    pub fn log(&self) -> &MessageLog {
+        &self.log
+    }
+
+    /// Drops log entries made obsolete by a checkpoint at `seq`.
+    pub fn truncate_log_through(&mut self, seq: u64) -> usize {
+        self.log.truncate_through(seq)
+    }
+
+    /// Execution statistics.
+    pub fn stats(&self) -> SystemStats {
+        self.stats
+    }
+
+    /// Immutable access to an actor's state.
+    pub fn actor(&self, id: &ActorId) -> Option<&dyn Actor> {
+        self.table
+            .lookup(id)
+            .map(|s| self.table.slot(s).actor.as_ref())
+    }
+
+    /// Mutable access to an actor's state (checkpoint/restore flows).
+    pub fn actor_mut(&mut self, id: &ActorId) -> Option<&mut (dyn Actor + 'static)> {
+        self.table
+            .lookup(id)
+            .map(|s| self.table.slot_mut(s).actor.as_mut())
+    }
+
+    /// Ids of all registered (non-stopped) actors, in id order.
+    pub fn actor_ids(&self) -> Vec<ActorId> {
+        self.table.live_ids()
+    }
+}
+
+impl Default for ParSystem {
+    /// Defaults to one shard per available CPU (capped at 8): the
+    /// configuration the benches exercise.
+    fn default() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get().min(8))
+            .unwrap_or(1);
+        Self::new(threads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actor::ActorError;
+
+    #[derive(Default)]
+    struct Count {
+        seen: u64,
+    }
+
+    impl Actor for Count {
+        fn on_message(&mut self, _ctx: &mut Ctx, _msg: &Message) -> Result<(), ActorError> {
+            self.seen += 1;
+            Ok(())
+        }
+
+        fn reset(&mut self) {
+            self.seen = 0;
+        }
+
+        fn snapshot(&self) -> Vec<u8> {
+            self.seen.to_be_bytes().to_vec()
+        }
+    }
+
+    struct Forwarder {
+        next: ActorId,
+    }
+
+    impl Actor for Forwarder {
+        fn on_message(&mut self, ctx: &mut Ctx, msg: &Message) -> Result<(), ActorError> {
+            ctx.send(self.next.clone(), msg.payload.clone());
+            Ok(())
+        }
+    }
+
+    #[derive(Default)]
+    struct FlakyOnce {
+        attempts: u64,
+    }
+
+    impl Actor for FlakyOnce {
+        fn on_message(&mut self, _ctx: &mut Ctx, _msg: &Message) -> Result<(), ActorError> {
+            self.attempts += 1;
+            if self.attempts % 2 == 1 {
+                Err(ActorError("flaky".into()))
+            } else {
+                Ok(())
+            }
+        }
+    }
+
+    fn storm(threads: usize) -> (ParSystem, u64) {
+        let mut sys = ParSystem::new(threads);
+        for i in 0..97 {
+            sys.spawn(
+                format!("a{i:03}"),
+                Box::new(Count::default()),
+                SupervisionPolicy::Restart,
+            );
+        }
+        let refs: Vec<ActorRef> = (0..97)
+            .map(|i| sys.resolve(&ActorId::new(format!("a{i:03}"))).unwrap())
+            .collect();
+        let batch: Vec<(ActorRef, Bytes)> = (0..97 * 5)
+            .map(|i| (refs[i % 97], Bytes::from(format!("m{i}"))))
+            .collect();
+        sys.inject_batch(&batch);
+        let (n, quiescent) = sys.run_until_quiescent(1000);
+        assert!(quiescent);
+        (sys, n)
+    }
+
+    #[test]
+    fn storm_delivers_everything_at_any_thread_count() {
+        for threads in [1, 2, 4, 8] {
+            let (sys, n) = storm(threads);
+            assert_eq!(n, 97 * 5, "threads={threads}");
+            assert_eq!(sys.stats().delivered, 97 * 5);
+            assert_eq!(sys.log().len(), 97 * 5);
+        }
+    }
+
+    #[test]
+    fn log_is_byte_identical_across_thread_counts() {
+        let (base, _) = storm(1);
+        for threads in [2, 4, 8] {
+            let (sys, _) = storm(threads);
+            assert_eq!(sys.log().len(), base.log().len());
+            for (a, b) in sys.log().entries().iter().zip(base.log().entries()) {
+                assert_eq!(a.seq, b.seq, "threads={threads}");
+                assert_eq!(a.to, b.to, "threads={threads}");
+                assert_eq!(a.payload, b.payload, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_chain_crosses_shards() {
+        for threads in [1, 2, 4, 8] {
+            let mut sys = ParSystem::new(threads);
+            // 200 actors so the chain spans several 64-aligned shards.
+            for i in 0..199 {
+                sys.spawn(
+                    format!("f{i:03}"),
+                    Box::new(Forwarder {
+                        next: ActorId::new(format!("f{:03}", i + 1)),
+                    }),
+                    SupervisionPolicy::Restart,
+                );
+            }
+            sys.spawn(
+                "f199",
+                Box::new(Count::default()),
+                SupervisionPolicy::Restart,
+            );
+            sys.inject("f000", Bytes::from_static(b"ball"));
+            let (n, quiescent) = sys.run_until_quiescent(1000);
+            assert!(quiescent);
+            assert_eq!(n, 200, "one hop per actor, threads={threads}");
+            let tail = sys.actor(&ActorId::new("f199")).unwrap().snapshot();
+            assert_eq!(tail, 1u64.to_be_bytes().to_vec());
+        }
+    }
+
+    #[test]
+    fn retry_keeps_seq_and_double_failure_drops() {
+        for threads in [1, 4] {
+            let mut sys = ParSystem::new(threads);
+            sys.spawn(
+                "f",
+                Box::new(FlakyOnce::default()),
+                SupervisionPolicy::RestartAndRetry,
+            );
+            sys.inject("f", Bytes::from_static(b"first"));
+            sys.inject("f", Bytes::from_static(b"second"));
+            sys.run_until_quiescent(100);
+            let seqs: Vec<u64> = sys.log().entries().iter().map(|m| m.seq).collect();
+            assert_eq!(seqs, vec![1, 2], "threads={threads}");
+            assert_eq!(sys.stats().failures, 2);
+            assert_eq!(sys.stats().delivered, 2);
+        }
+    }
+
+    #[test]
+    fn stop_supervision_dead_letters_afterwards() {
+        struct Poisoned;
+        impl Actor for Poisoned {
+            fn on_message(&mut self, _ctx: &mut Ctx, _msg: &Message) -> Result<(), ActorError> {
+                Err(ActorError("bad".into()))
+            }
+        }
+        let mut sys = ParSystem::new(4);
+        sys.spawn("p", Box::new(Poisoned), SupervisionPolicy::Stop);
+        sys.inject("p", Bytes::from_static(b"x"));
+        sys.run_until_quiescent(100);
+        assert_eq!(sys.stats().failures, 1);
+        assert!(sys.actor_ids().is_empty());
+        sys.inject("p", Bytes::from_static(b"y"));
+        assert_eq!(sys.stats().dead_letters, 1);
+        assert!(!sys.has_pending());
+    }
+
+    #[test]
+    fn observer_counters_and_shard_series_merge() {
+        let mut sys = ParSystem::new(4);
+        let obs = Telemetry::enabled();
+        sys.set_observer(obs.clone());
+        for i in 0..10 {
+            sys.spawn(
+                format!("c{i}"),
+                Box::new(Count::default()),
+                SupervisionPolicy::Restart,
+            );
+        }
+        let batch: Vec<(ActorRef, Bytes)> = (0..10)
+            .map(|i| {
+                (
+                    sys.resolve(&ActorId::new(format!("c{i}"))).unwrap(),
+                    Bytes::from_static(b"m"),
+                )
+            })
+            .collect();
+        sys.inject_batch(&batch);
+        sys.inject("nobody", Bytes::from_static(b"x"));
+        sys.run_until_quiescent(100);
+        assert_eq!(obs.counter("actor.delivered", &Labels::none()), 10);
+        assert_eq!(obs.counter("actor.dead_letters", &Labels::none()), 1);
+        // Shard-hub series were absorbed into the main hub: executed and
+        // injected sum to the totals across the per-shard label sets.
+        let (mut executed, mut injected) = (0u64, 0u64);
+        for i in 0..4 {
+            let labels = Labels::module("par", format!("shard{i}"));
+            executed += obs.counter("par.executed", &labels);
+            injected += obs.counter("par.injected", &labels);
+        }
+        assert_eq!(executed, 10);
+        assert_eq!(injected, 10);
+    }
+
+    #[test]
+    fn traced_cascade_forms_connected_dag_on_main_hub() {
+        let mut sys = ParSystem::new(4);
+        let obs = Telemetry::enabled();
+        sys.set_observer(obs.clone());
+        sys.spawn(
+            "a",
+            Box::new(Forwarder {
+                next: ActorId::new("b"),
+            }),
+            SupervisionPolicy::Restart,
+        );
+        sys.spawn("b", Box::new(Count::default()), SupervisionPolicy::Restart);
+        let root = obs.trace_root("test.root");
+        let ctx = root.ctx().expect("enabled root span carries a ctx");
+        sys.inject_traced("a", Bytes::from_static(b"x"), ctx);
+        sys.run_until_quiescent(100);
+        drop(root);
+        let spans = obs.snapshot().spans;
+        let delivers: Vec<_> = spans.iter().filter(|s| s.name == "actor.deliver").collect();
+        assert_eq!(delivers.len(), 2, "one deliver span per hop");
+        for d in &delivers {
+            assert_eq!(d.trace, Some(ctx.trace_id));
+            assert!(d.end_us.is_some());
+        }
+        assert_eq!(delivers[0].parent, Some(ctx.span));
+        assert_eq!(delivers[1].parent, Some(delivers[0].id));
+    }
+
+    #[test]
+    fn respawn_after_stop_revives_actor() {
+        struct Poisoned;
+        impl Actor for Poisoned {
+            fn on_message(&mut self, _ctx: &mut Ctx, _msg: &Message) -> Result<(), ActorError> {
+                Err(ActorError("bad".into()))
+            }
+        }
+        let mut sys = ParSystem::new(2);
+        sys.spawn("p", Box::new(Poisoned), SupervisionPolicy::Stop);
+        sys.inject("p", Bytes::from_static(b"x"));
+        sys.run_until_quiescent(100);
+        assert!(sys.actor_ids().is_empty());
+        sys.spawn("p", Box::new(Count::default()), SupervisionPolicy::Restart);
+        sys.inject("p", Bytes::from_static(b"y"));
+        let (n, _) = sys.run_until_quiescent(100);
+        assert_eq!(n, 1);
+        assert_eq!(sys.actor_ids(), vec![ActorId::new("p")]);
+    }
+
+    #[test]
+    fn spawns_between_rounds_rebuild_shards() {
+        let mut sys = ParSystem::new(4);
+        sys.spawn("m", Box::new(Count::default()), SupervisionPolicy::Restart);
+        sys.inject("m", Bytes::from_static(b"1"));
+        sys.run_until_quiescent(100);
+        for i in 0..100 {
+            sys.spawn(
+                format!("x{i:03}"),
+                Box::new(Count::default()),
+                SupervisionPolicy::Restart,
+            );
+        }
+        sys.inject("x099", Bytes::from_static(b"2"));
+        sys.inject("m", Bytes::from_static(b"3"));
+        let (n, quiescent) = sys.run_until_quiescent(100);
+        assert!(quiescent);
+        assert_eq!(n, 2);
+        assert_eq!(sys.stats().delivered, 3);
+    }
+}

@@ -1,0 +1,153 @@
+//! The executor-agnostic runtime surface.
+//!
+//! [`ActorRuntime`] is the object-safe trait all three executors
+//! implement — [`crate::naive::NaiveSystem`] (the seed oracle),
+//! [`crate::system::System`] (deterministic fast path) and
+//! [`crate::par::ParSystem`] (work-stealing parallel) — so replay and
+//! recovery consumers (`udc-core`'s heal loop, `udc-dist`'s checkpoint
+//! recovery) can run over a `Box<dyn ActorRuntime>` and take the merged
+//! log from whichever executor produced it. The trait uses concrete
+//! `ActorId`/`Bytes` signatures (no `impl Into<...>` sugar) to stay
+//! object-safe; the inherent methods on each system keep the ergonomic
+//! generic forms.
+
+use crate::actor::{Actor, ActorId};
+use crate::log::MessageLog;
+use crate::supervise::SupervisionPolicy;
+use crate::system::SystemStats;
+use bytes::Bytes;
+use udc_telemetry::{Telemetry, TraceCtx};
+
+/// What every executor must provide: the spawn/inject/step lifecycle,
+/// the reliable log, stats, and actor state access for
+/// checkpoint/restore flows.
+pub trait ActorRuntime {
+    /// Installs the observability hub.
+    fn set_observer(&mut self, obs: Telemetry);
+    /// Registers an actor, replacing any registration with the same id.
+    fn spawn(&mut self, id: ActorId, actor: Box<dyn Actor>, policy: SupervisionPolicy);
+    /// Enqueues an external message.
+    fn inject(&mut self, to: ActorId, payload: Bytes);
+    /// Enqueues an external message under an explicit trace context.
+    fn inject_traced(&mut self, to: ActorId, payload: Bytes, ctx: TraceCtx);
+    /// Delivers at most one message to each actor; returns messages
+    /// handled.
+    fn step(&mut self) -> usize;
+    /// Runs until quiescent or `max_steps` rounds; returns (handled,
+    /// quiescent).
+    fn run_until_quiescent(&mut self, max_steps: usize) -> (u64, bool);
+    /// True when any mailbox still has messages.
+    fn has_pending(&self) -> bool;
+    /// The reliable message log (merged across shards for the parallel
+    /// executor).
+    fn log(&self) -> &MessageLog;
+    /// Drops log entries made obsolete by a checkpoint at `seq`.
+    fn truncate_log_through(&mut self, seq: u64) -> usize;
+    /// Execution statistics.
+    fn stats(&self) -> SystemStats;
+    /// Immutable access to an actor's state.
+    fn actor(&self, id: &ActorId) -> Option<&dyn Actor>;
+    /// Mutable access to an actor's state (checkpoint/restore flows).
+    fn actor_mut(&mut self, id: &ActorId) -> Option<&mut (dyn Actor + 'static)>;
+    /// Ids of all registered (non-stopped) actors, in id order.
+    fn actor_ids(&self) -> Vec<ActorId>;
+}
+
+macro_rules! forward_runtime {
+    ($ty:ty) => {
+        impl ActorRuntime for $ty {
+            fn set_observer(&mut self, obs: Telemetry) {
+                <$ty>::set_observer(self, obs)
+            }
+            fn spawn(&mut self, id: ActorId, actor: Box<dyn Actor>, policy: SupervisionPolicy) {
+                <$ty>::spawn(self, id, actor, policy)
+            }
+            fn inject(&mut self, to: ActorId, payload: Bytes) {
+                <$ty>::inject(self, to, payload)
+            }
+            fn inject_traced(&mut self, to: ActorId, payload: Bytes, ctx: TraceCtx) {
+                <$ty>::inject_traced(self, to, payload, ctx)
+            }
+            fn step(&mut self) -> usize {
+                <$ty>::step(self)
+            }
+            fn run_until_quiescent(&mut self, max_steps: usize) -> (u64, bool) {
+                <$ty>::run_until_quiescent(self, max_steps)
+            }
+            fn has_pending(&self) -> bool {
+                <$ty>::has_pending(self)
+            }
+            fn log(&self) -> &MessageLog {
+                <$ty>::log(self)
+            }
+            fn truncate_log_through(&mut self, seq: u64) -> usize {
+                <$ty>::truncate_log_through(self, seq)
+            }
+            fn stats(&self) -> SystemStats {
+                <$ty>::stats(self)
+            }
+            fn actor(&self, id: &ActorId) -> Option<&dyn Actor> {
+                <$ty>::actor(self, id)
+            }
+            fn actor_mut(&mut self, id: &ActorId) -> Option<&mut (dyn Actor + 'static)> {
+                <$ty>::actor_mut(self, id)
+            }
+            fn actor_ids(&self) -> Vec<ActorId> {
+                <$ty>::actor_ids(self)
+            }
+        }
+    };
+}
+
+forward_runtime!(crate::naive::NaiveSystem);
+forward_runtime!(crate::system::System);
+forward_runtime!(crate::par::ParSystem);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actor::{ActorError, Ctx, Message};
+    use crate::par::ParSystem;
+    use crate::system::System;
+
+    #[derive(Default)]
+    struct Count(u64);
+    impl Actor for Count {
+        fn on_message(&mut self, _ctx: &mut Ctx, _msg: &Message) -> Result<(), ActorError> {
+            self.0 += 1;
+            Ok(())
+        }
+        fn snapshot(&self) -> Vec<u8> {
+            self.0.to_be_bytes().to_vec()
+        }
+    }
+
+    fn drive(sys: &mut dyn ActorRuntime) -> u64 {
+        sys.spawn(
+            ActorId::new("c"),
+            Box::new(Count::default()),
+            SupervisionPolicy::Restart,
+        );
+        for _ in 0..5 {
+            sys.inject(ActorId::new("c"), Bytes::from_static(b"m"));
+        }
+        let (n, quiescent) = sys.run_until_quiescent(100);
+        assert!(quiescent);
+        assert_eq!(sys.log().len() as u64, n);
+        n
+    }
+
+    #[test]
+    fn all_executors_behind_the_same_dyn_surface() {
+        let mut runtimes: Vec<Box<dyn ActorRuntime>> = vec![
+            Box::new(crate::naive::NaiveSystem::new()),
+            Box::new(System::new()),
+            Box::new(ParSystem::new(2)),
+        ];
+        for rt in &mut runtimes {
+            assert_eq!(drive(rt.as_mut()), 5);
+            assert_eq!(rt.stats().delivered, 5);
+            assert_eq!(rt.actor_ids(), vec![ActorId::new("c")]);
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! The interned actor slab shared by every executor: dense `u32` slots
+//! behind an FNV-hashed id index, plus the id-order *rank* assignment
+//! that scheduling walks.
+//!
+//! [`crate::system::System`] introduced this layout (PR 5); the
+//! parallel executor ([`crate::par::ParSystem`]) partitions the same
+//! rank space into contiguous worker shards, so the slot/rank internals
+//! live here behind a shard-partitionable API instead of being private
+//! to one executor.
+
+use crate::actor::{Actor, ActorId, Message};
+use crate::supervise::SupervisionPolicy;
+use std::collections::{HashMap, VecDeque};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// FNV-1a: ids are short strings, so a multiply-per-byte hash beats
+/// SipHash by a wide margin on the per-enqueue index probe. The map is
+/// only mutated single-threaded and keys are trusted (no DoS surface).
+#[derive(Default)]
+pub(crate) struct FnvHasher(u64);
+
+impl Hasher for FnvHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = if self.0 == 0 {
+            0xcbf2_9ce4_8422_2325
+        } else {
+            self.0
+        };
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        self.0 = h;
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+pub(crate) type FnvMap<K, V> = HashMap<K, V, BuildHasherDefault<FnvHasher>>;
+
+/// One interned actor: the slab record behind a dense `u32` slot.
+pub(crate) struct Slot {
+    pub id: ActorId,
+    pub actor: Box<dyn Actor>,
+    pub mailbox: VecDeque<Message>,
+    pub policy: SupervisionPolicy,
+    pub stopped: bool,
+    /// Position in id order; the scheduling key. Recomputed lazily
+    /// after a spawn of a new id.
+    pub rank: u32,
+}
+
+/// What a spawn did to the slab, so the executor can fix up its own
+/// readiness/queue bookkeeping (which lives outside the slab).
+pub(crate) enum SpawnEffect {
+    /// A brand-new id was interned; ranks are now dirty.
+    Fresh,
+    /// An existing id was replaced in place: the mailbox was cleared
+    /// (`cleared` messages dropped) and the slot's rank is unchanged.
+    Reused { cleared: usize, rank: u32 },
+}
+
+/// The interned slot table: id index, slot slab, and rank order.
+///
+/// Deliberately bookkeeping-free: it does not track readiness or queued
+/// counts — each executor layers its own (single-threaded bitmap for
+/// [`crate::system::System`], sharded atomic bitmap for
+/// [`crate::par::ParSystem`]) over the rank space this table defines.
+#[derive(Default)]
+pub(crate) struct SlotTable {
+    /// Id → slot. Touched at spawn/enqueue, never per scheduler round.
+    index: FnvMap<ActorId, u32>,
+    slots: Vec<Slot>,
+    /// Rank → slot, in id order. Rebuilt lazily when `ranks_dirty`.
+    order: Vec<u32>,
+    /// Set when a new id was spawned since the last rank refresh.
+    ranks_dirty: bool,
+}
+
+impl SlotTable {
+    /// Registers an actor under `id`, replacing any existing
+    /// registration with the same id (the seed's map-insert semantics).
+    pub fn spawn(
+        &mut self,
+        id: ActorId,
+        actor: Box<dyn Actor>,
+        policy: SupervisionPolicy,
+    ) -> SpawnEffect {
+        match self.index.get(&id) {
+            Some(&slot) => {
+                // Same id: reuse the slot (rank order is unchanged),
+                // with a fresh mailbox and cleared stop flag.
+                let s = &mut self.slots[slot as usize];
+                let cleared = s.mailbox.len();
+                s.actor = actor;
+                s.mailbox.clear();
+                s.policy = policy;
+                s.stopped = false;
+                SpawnEffect::Reused {
+                    cleared,
+                    rank: s.rank,
+                }
+            }
+            None => {
+                let slot = self.slots.len() as u32;
+                self.index.insert(id.clone(), slot);
+                self.slots.push(Slot {
+                    id,
+                    actor,
+                    mailbox: VecDeque::new(),
+                    policy,
+                    stopped: false,
+                    rank: 0,
+                });
+                self.ranks_dirty = true;
+                SpawnEffect::Fresh
+            }
+        }
+    }
+
+    /// Dense slot of `id`, if it was ever spawned.
+    pub fn lookup(&self, id: &ActorId) -> Option<u32> {
+        self.index.get(id).copied()
+    }
+
+    /// Number of interned slots (spawned ids, including stopped ones).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when a new id was spawned since the last rank refresh.
+    pub fn ranks_dirty(&self) -> bool {
+        self.ranks_dirty
+    }
+
+    pub fn slot(&self, slot: u32) -> &Slot {
+        &self.slots[slot as usize]
+    }
+
+    pub fn slot_mut(&mut self, slot: u32) -> &mut Slot {
+        &mut self.slots[slot as usize]
+    }
+
+    /// Slot interned at `rank` (panics if ranks are dirty — refresh
+    /// first).
+    pub fn slot_of_rank(&self, rank: u32) -> u32 {
+        debug_assert!(!self.ranks_dirty, "rank lookup with dirty ranks");
+        self.order[rank as usize]
+    }
+
+    /// Total ranks (== slots) once ranks are fresh.
+    pub fn ranks(&self) -> usize {
+        self.order.len()
+    }
+
+    pub fn slots(&self) -> &[Slot] {
+        &self.slots
+    }
+
+    pub fn slots_mut(&mut self) -> &mut [Slot] {
+        &mut self.slots
+    }
+
+    /// Raw parts for a parallel round: the slot slab and the rank →
+    /// slot order, borrowed together so a worker crew can address
+    /// disjoint slots by rank while the coordinator keeps the borrow.
+    pub fn parts_mut(&mut self) -> (&mut [Slot], &[u32]) {
+        debug_assert!(!self.ranks_dirty, "parallel round with dirty ranks");
+        (&mut self.slots, &self.order)
+    }
+
+    /// Rebuilds rank order after new spawns; runs at most once per
+    /// batch of spawns, not per round. Calls `on_ready(rank)` for every
+    /// rank whose mailbox has pending mail (and is not stopped), so the
+    /// caller can rebuild its readiness structure in the same pass.
+    /// Returns true when a refresh actually happened.
+    pub fn refresh_ranks(&mut self, mut on_ready: impl FnMut(u32)) -> bool {
+        if !self.ranks_dirty {
+            return false;
+        }
+        self.order.clear();
+        self.order.extend(0..self.slots.len() as u32);
+        let slots = &self.slots;
+        self.order
+            .sort_unstable_by(|&a, &b| slots[a as usize].id.cmp(&slots[b as usize].id));
+        for (rank, &slot) in self.order.iter().enumerate() {
+            self.slots[slot as usize].rank = rank as u32;
+        }
+        for (rank, &slot) in self.order.iter().enumerate() {
+            let s = &self.slots[slot as usize];
+            if !s.stopped && !s.mailbox.is_empty() {
+                on_ready(rank as u32);
+            }
+        }
+        self.ranks_dirty = false;
+        true
+    }
+
+    /// Ids of all registered (non-stopped) actors, in id order.
+    pub fn live_ids(&self) -> Vec<ActorId> {
+        let mut ids: Vec<ActorId> = self
+            .slots
+            .iter()
+            .filter(|s| !s.stopped)
+            .map(|s| s.id.clone())
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+}
+
+/// Contiguous rank ranges partitioning `ranks` across `shards` workers.
+/// Non-empty shard boundaries fall on bitmap-word boundaries, so each
+/// shard owns whole `u64` words of the ready bitmap and parallel bit
+/// updates never share a word across shards; when there are fewer words
+/// than shards, the surplus trailing shards are empty (clamped to
+/// `ranks`, possibly mid-word — harmless precisely because they hold no
+/// ranks).
+pub(crate) fn shard_ranges(ranks: usize, shards: usize) -> Vec<(u32, u32)> {
+    let words = ranks.div_ceil(64);
+    let per = words.div_ceil(shards.max(1)).max(1);
+    (0..shards)
+        .map(|s| {
+            let lo = (s * per * 64).min(ranks);
+            let hi = ((s + 1) * per * 64).min(ranks);
+            (lo as u32, hi as u32)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_ranges_are_word_aligned_and_cover() {
+        for ranks in [0usize, 1, 63, 64, 65, 1000, 10_000] {
+            for shards in [1usize, 2, 4, 8] {
+                let r = shard_ranges(ranks, shards);
+                assert_eq!(r.len(), shards);
+                assert_eq!(r[0].0, 0);
+                assert_eq!(r[shards - 1].1 as usize, ranks);
+                for w in r.windows(2) {
+                    assert_eq!(w[0].1, w[1].0, "contiguous");
+                }
+                for &(lo, hi) in &r {
+                    assert!(lo <= hi);
+                    if lo < hi {
+                        assert_eq!(lo % 64, 0, "non-empty shard lo word-aligned");
+                        assert!(hi % 64 == 0 || hi as usize == ranks, "hi aligned or final");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -27,38 +27,11 @@
 
 use crate::actor::{Actor, ActorId, Ctx, Message};
 pub use crate::log::MessageLog;
+use crate::readiness::ReadySet;
+use crate::slab::{SlotTable, SpawnEffect};
 use crate::supervise::SupervisionPolicy;
 use bytes::Bytes;
-use std::collections::{HashMap, VecDeque};
-use std::hash::{BuildHasherDefault, Hasher};
 use udc_telemetry::{CounterHandle, GaugeHandle, Labels, Telemetry, TraceCtx};
-
-/// FNV-1a: ids are short strings, so a multiply-per-byte hash beats
-/// SipHash by a wide margin on the per-enqueue index probe. The map is
-/// single-threaded and keys are trusted (no DoS surface).
-#[derive(Default)]
-struct FnvHasher(u64);
-
-impl Hasher for FnvHasher {
-    fn write(&mut self, bytes: &[u8]) {
-        let mut h = if self.0 == 0 {
-            0xcbf2_9ce4_8422_2325
-        } else {
-            self.0
-        };
-        for &b in bytes {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x1000_0000_01b3);
-        }
-        self.0 = h;
-    }
-
-    fn finish(&self) -> u64 {
-        self.0
-    }
-}
-
-type FnvMap<K, V> = HashMap<K, V, BuildHasherDefault<FnvHasher>>;
 
 /// A resolve-once injection handle: the dense slot an [`ActorId`] was
 /// interned into. Callers on a hot injection path look the id up a
@@ -71,7 +44,7 @@ type FnvMap<K, V> = HashMap<K, V, BuildHasherDefault<FnvHasher>>;
 /// (the slot is reused) or a stop (injections dead-letter, exactly as
 /// they would by id).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ActorRef(u32);
+pub struct ActorRef(pub(crate) u32);
 
 /// Execution statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -86,87 +59,6 @@ pub struct SystemStats {
     pub dead_letters: u64,
 }
 
-/// One interned actor: the slab record behind a dense `u32` slot.
-struct Slot {
-    id: ActorId,
-    actor: Box<dyn Actor>,
-    mailbox: VecDeque<Message>,
-    policy: SupervisionPolicy,
-    stopped: bool,
-    /// Position in id order; the scheduling key. Recomputed lazily
-    /// after a spawn of a new id.
-    rank: u32,
-}
-
-/// Two-level bitmap over dense ranks: bit `r` of `words` is set iff
-/// rank `r` has pending mail; `summary` has one bit per word so a round
-/// can skip 4096 idle ranks per summary word probed.
-#[derive(Default)]
-struct ReadySet {
-    words: Vec<u64>,
-    summary: Vec<u64>,
-}
-
-impl ReadySet {
-    /// Clears and resizes for `n` ranks.
-    fn reset(&mut self, n: usize) {
-        let w = n.div_ceil(64);
-        self.words.clear();
-        self.words.resize(w, 0);
-        let s = w.div_ceil(64);
-        self.summary.clear();
-        self.summary.resize(s, 0);
-    }
-
-    #[inline]
-    fn set(&mut self, rank: u32) {
-        let w = (rank / 64) as usize;
-        self.words[w] |= 1u64 << (rank % 64);
-        self.summary[w / 64] |= 1u64 << (w % 64);
-    }
-
-    #[inline]
-    fn clear(&mut self, rank: u32) {
-        let w = (rank / 64) as usize;
-        self.words[w] &= !(1u64 << (rank % 64));
-        if self.words[w] == 0 {
-            self.summary[w / 64] &= !(1u64 << (w % 64));
-        }
-    }
-
-    /// Smallest set rank `>= from`, if any.
-    fn next_at_or_after(&self, from: u32) -> Option<u32> {
-        let w0 = (from / 64) as usize;
-        if w0 >= self.words.len() {
-            return None;
-        }
-        let bits = self.words[w0] & (!0u64 << (from % 64));
-        if bits != 0 {
-            return Some(w0 as u32 * 64 + bits.trailing_zeros());
-        }
-        // Jump word-to-word via the summary.
-        let next_w = w0 + 1;
-        let mut sw = next_w / 64;
-        let mut smask = if sw * 64 < next_w {
-            !0u64 << (next_w % 64)
-        } else {
-            !0u64
-        };
-        while sw < self.summary.len() {
-            let sbits = self.summary[sw] & smask;
-            if sbits != 0 {
-                let wi = sw * 64 + sbits.trailing_zeros() as usize;
-                let b = self.words[wi];
-                debug_assert_ne!(b, 0, "summary bit implies a non-empty word");
-                return Some(wi as u32 * 64 + b.trailing_zeros());
-            }
-            sw += 1;
-            smask = !0;
-        }
-        None
-    }
-}
-
 /// The deterministic single-threaded actor system.
 ///
 /// Delivery order is deterministic: actors are polled in id order, one
@@ -174,16 +66,8 @@ impl ReadySet {
 /// message log (property-tested against [`crate::naive::NaiveSystem`]).
 #[derive(Default)]
 pub struct System {
-    /// Id → slot. Touched at spawn/enqueue, never per scheduler round.
-    /// Hash-based: the enqueue-path probe is the hottest id lookup in
-    /// the system, and id order is only needed at rank-refresh time
-    /// (where the slab is sorted instead).
-    index: FnvMap<ActorId, u32>,
-    slots: Vec<Slot>,
-    /// Rank → slot, in id order. Rebuilt lazily when `ranks_dirty`.
-    order: Vec<u32>,
-    /// Set when a new id was spawned since the last rank refresh.
-    ranks_dirty: bool,
+    /// Interned slots + rank order (shared layout — see [`crate::slab`]).
+    table: SlotTable,
     ready: ReadySet,
     /// Messages queued in non-stopped mailboxes (O(1) `has_pending`).
     queued: usize,
@@ -229,35 +113,18 @@ impl System {
         actor: Box<dyn Actor>,
         policy: SupervisionPolicy,
     ) {
-        let id = id.into();
-        match self.index.get(&id) {
-            Some(&slot) => {
-                // Same id: reuse the slot (rank order is unchanged),
-                // with a fresh mailbox and cleared stop flag — exactly
-                // the seed's map-insert replacement semantics.
-                let s = &mut self.slots[slot as usize];
-                self.queued -= s.mailbox.len();
-                s.actor = actor;
-                s.mailbox.clear();
-                s.policy = policy;
-                s.stopped = false;
-                if !self.ranks_dirty {
-                    self.ready.clear(s.rank);
+        let dirty_before = self.table.ranks_dirty();
+        match self.table.spawn(id.into(), actor, policy) {
+            SpawnEffect::Reused { cleared, rank } => {
+                // Same id: the slot was reused (rank order unchanged)
+                // with a fresh mailbox — exactly the seed's map-insert
+                // replacement semantics.
+                self.queued -= cleared;
+                if !dirty_before {
+                    self.ready.clear(rank);
                 }
             }
-            None => {
-                let slot = self.slots.len() as u32;
-                self.index.insert(id.clone(), slot);
-                self.slots.push(Slot {
-                    id,
-                    actor,
-                    mailbox: VecDeque::new(),
-                    policy,
-                    stopped: false,
-                    rank: 0,
-                });
-                self.ranks_dirty = true;
-            }
+            SpawnEffect::Fresh => {}
         }
     }
 
@@ -281,7 +148,7 @@ impl System {
     /// spawned. A stopped actor still resolves (its slot persists);
     /// injecting at it dead-letters, same as injecting by id.
     pub fn resolve(&self, id: &ActorId) -> Option<ActorRef> {
-        self.index.get(id).copied().map(ActorRef)
+        self.table.lookup(id).map(ActorRef)
     }
 
     /// Enqueues an external message through a pre-resolved handle:
@@ -290,7 +157,7 @@ impl System {
         // One slot borrow end to end: the handle already paid for the
         // lookup, so the hot path is a stopped check, an id refcount
         // bump, and the mailbox push.
-        let s = &mut self.slots[at.0 as usize];
+        let s = self.table.slot_mut(at.0);
         if s.stopped {
             self.stats.dead_letters += 1;
             self.dead_letters_h.incr(1);
@@ -313,8 +180,8 @@ impl System {
 
     #[inline]
     fn enqueue(&mut self, msg: Message) {
-        let slot = match self.index.get(&msg.to) {
-            Some(&s) if !self.slots[s as usize].stopped => s as usize,
+        let slot = match self.table.lookup(&msg.to) {
+            Some(s) if !self.table.slot(s).stopped => s,
             _ => {
                 self.stats.dead_letters += 1;
                 self.dead_letters_h.incr(1);
@@ -325,8 +192,8 @@ impl System {
     }
 
     #[inline]
-    fn enqueue_at(&mut self, slot: usize, msg: Message) {
-        let s = &mut self.slots[slot];
+    fn enqueue_at(&mut self, slot: u32, msg: Message) {
+        let s = self.table.slot_mut(slot);
         if s.mailbox.capacity() == 0 {
             // First mail for this slot: size the buffer for a burst up
             // front, so a storm does one allocation per mailbox instead
@@ -342,7 +209,7 @@ impl System {
     #[inline]
     fn note_enqueued(&mut self, depth: usize, rank: u32) {
         self.queued += 1;
-        if depth == 1 && !self.ranks_dirty {
+        if depth == 1 && !self.table.ranks_dirty() {
             self.ready.set(rank);
         }
         // Only a new high-water candidate touches the gauge; the
@@ -356,25 +223,12 @@ impl System {
     /// Rebuilds rank order (and the ready bitmap) after new spawns.
     /// Runs at most once per batch of spawns, not per round.
     fn refresh_ranks(&mut self) {
-        if !self.ranks_dirty {
+        if !self.table.ranks_dirty() {
             return;
         }
-        self.order.clear();
-        self.order.extend(0..self.slots.len() as u32);
-        let slots = &self.slots;
-        self.order
-            .sort_unstable_by(|&a, &b| slots[a as usize].id.cmp(&slots[b as usize].id));
-        for (rank, &slot) in self.order.iter().enumerate() {
-            self.slots[slot as usize].rank = rank as u32;
-        }
-        self.ready.reset(self.order.len());
-        for (rank, &slot) in self.order.iter().enumerate() {
-            let s = &self.slots[slot as usize];
-            if !s.stopped && !s.mailbox.is_empty() {
-                self.ready.set(rank as u32);
-            }
-        }
-        self.ranks_dirty = false;
+        self.ready.reset(self.table.len());
+        let ready = &mut self.ready;
+        self.table.refresh_ranks(|rank| ready.set(rank));
     }
 
     /// Delivers at most one message to each actor (in id order).
@@ -395,8 +249,8 @@ impl System {
         let mut cursor: u32 = 0;
         while let Some(rank) = self.ready.next_at_or_after(cursor) {
             cursor = rank + 1;
-            let slot = self.order[rank as usize] as usize;
-            let s = &mut self.slots[slot];
+            let slot = self.table.slot_of_rank(rank);
+            let s = self.table.slot_mut(slot);
             debug_assert!(!s.stopped, "stopped actors are never ready");
             let Some(front) = s.mailbox.front_mut() else {
                 debug_assert!(false, "ready rank with empty mailbox");
@@ -425,24 +279,20 @@ impl System {
     /// mailbox -> log in a single step (speculative append — see
     /// [`System::run_recorded`]).
     #[inline]
-    fn deliver_front(&mut self, slot: usize, allow_retry: bool) {
-        let trace = self.slots[slot]
+    fn deliver_front(&mut self, slot: u32, allow_retry: bool) {
+        let s = self.table.slot_mut(slot);
+        let msg = s
             .mailbox
-            .front()
-            .expect("deliver_front on empty mailbox")
-            .trace;
-        self.log.record(
-            self.slots[slot]
-                .mailbox
-                .pop_front()
-                .expect("deliver_front on empty mailbox"),
-        );
+            .pop_front()
+            .expect("deliver_front on empty mailbox");
+        let trace = msg.trace;
+        self.log.record(msg);
         self.run_recorded(slot, trace, allow_retry);
     }
 
     /// Delivers an owned message (the retry path re-delivers the popped
     /// entry).
-    fn deliver_owned(&mut self, slot: usize, msg: Message, allow_retry: bool) {
+    fn deliver_owned(&mut self, slot: u32, msg: Message, allow_retry: bool) {
         let trace = msg.trace;
         self.log.record(msg);
         self.run_recorded(slot, trace, allow_retry);
@@ -460,7 +310,7 @@ impl System {
     /// the incoming message's context; outbox messages inherit the
     /// span's context so the cascade forms a connected DAG. Untraced
     /// deliveries skip the span store entirely (the fast path).
-    fn run_recorded(&mut self, slot: usize, trace: Option<TraceCtx>, allow_retry: bool) {
+    fn run_recorded(&mut self, slot: u32, trace: Option<TraceCtx>, allow_retry: bool) {
         let span = if trace.is_some() && self.obs.is_enabled() {
             Some(self.obs.span_opt(trace.as_ref(), "actor.deliver"))
         } else {
@@ -473,14 +323,14 @@ impl System {
         };
         let result = {
             let m = self.log.last().expect("entry just recorded");
-            self.slots[slot].actor.on_message(&mut ctx, m)
+            self.table.slot_mut(slot).actor.on_message(&mut ctx, m)
         };
         match result {
             Ok(()) => {
                 // The counter cell is updated once per round in `step`.
                 self.stats.delivered += 1;
                 if !ctx.outbox.is_empty() {
-                    let from = self.slots[slot].id.clone();
+                    let from = self.table.slot(slot).id.clone();
                     for (to, payload) in ctx.outbox {
                         self.enqueue(Message {
                             from: Some(from.clone()),
@@ -498,18 +348,18 @@ impl System {
 
     /// Supervision for a failed delivery; out of line, off the hot path.
     #[cold]
-    fn deliver_failed(&mut self, slot: usize, allow_retry: bool) {
+    fn deliver_failed(&mut self, slot: u32, allow_retry: bool) {
         let msg = self.log.pop_last().expect("entry just recorded");
         self.stats.failures += 1;
         self.failures_h.incr(1);
-        match self.slots[slot].policy {
+        match self.table.slot(slot).policy {
             SupervisionPolicy::Restart => {
-                self.slots[slot].actor.reset();
+                self.table.slot_mut(slot).actor.reset();
                 self.stats.restarts += 1;
                 self.restarts_h.incr(1);
             }
             SupervisionPolicy::RestartAndRetry => {
-                self.slots[slot].actor.reset();
+                self.table.slot_mut(slot).actor.reset();
                 self.stats.restarts += 1;
                 self.restarts_h.incr(1);
                 if allow_retry {
@@ -519,12 +369,14 @@ impl System {
                 }
             }
             SupervisionPolicy::Stop => {
-                let s = &mut self.slots[slot];
+                let dirty = self.table.ranks_dirty();
+                let s = self.table.slot_mut(slot);
                 s.stopped = true;
-                self.queued -= s.mailbox.len();
+                let (cleared, rank) = (s.mailbox.len(), s.rank);
                 s.mailbox.clear();
-                if !self.ranks_dirty {
-                    self.ready.clear(s.rank);
+                self.queued -= cleared;
+                if !dirty {
+                    self.ready.clear(rank);
                 }
             }
         }
@@ -571,28 +423,21 @@ impl System {
     /// Immutable access to an actor (for inspecting state in tests and
     /// experiments). Returns `None` for unknown ids.
     pub fn actor(&self, id: &ActorId) -> Option<&dyn Actor> {
-        self.index
-            .get(id)
-            .map(|&s| self.slots[s as usize].actor.as_ref())
+        self.table
+            .lookup(id)
+            .map(|s| self.table.slot(s).actor.as_ref())
     }
 
     /// Mutable access to an actor (checkpoint/restore flows).
     pub fn actor_mut(&mut self, id: &ActorId) -> Option<&mut (dyn Actor + 'static)> {
-        self.index
-            .get(id)
-            .map(|&s| self.slots[s as usize].actor.as_mut())
+        self.table
+            .lookup(id)
+            .map(|s| self.table.slot_mut(s).actor.as_mut())
     }
 
     /// Ids of all registered (non-stopped) actors, in id order.
     pub fn actor_ids(&self) -> Vec<ActorId> {
-        let mut ids: Vec<ActorId> = self
-            .slots
-            .iter()
-            .filter(|s| !s.stopped)
-            .map(|s| s.id.clone())
-            .collect();
-        ids.sort_unstable();
-        ids
+        self.table.live_ids()
     }
 }
 

@@ -10,9 +10,15 @@
 //! The tool validates the artifact as it reads it and exits non-zero on:
 //! schema violations (missing/mistyped span fields), orphan spans
 //! (parent id absent from the artifact), spans whose parent lives in a
-//! different trace, unclosed spans, and broken critical paths (a child
-//! interval escaping its parent's interval). CI runs it over the
-//! exp_01 artifact so a regression in trace propagation fails the build.
+//! different trace, unclosed spans, broken critical paths (a child
+//! interval escaping its parent's interval), and disconnected traces
+//! (a trace must form one connected DAG: exactly one root span, every
+//! member reachable from it). The connectivity check is what keeps
+//! multi-shard telemetry honest — `Telemetry::absorb` shifts absorbed
+//! trace ids past the destination's, so a trace split across shard
+//! hubs that was *not* reknit shows up here as extra roots or
+//! unreachable spans. CI runs it over the exp_01 artifact so a
+//! regression in trace propagation fails the build.
 //!
 //! Per-trace output: the span DAG grouped by phase (validate / place /
 //! allocate / launch / actor / dist / heal), the critical path from the root to
@@ -188,6 +194,68 @@ fn validate(spans: &[SpanRow]) -> Vec<String> {
                 "broken critical path: span {} `{}` [{}, {:?}] escapes parent {} [{}, {:?}]",
                 s.id, s.name, s.start_us, s.end_us, pid, p.start_us, p.end_us
             ));
+        }
+    }
+    violations.extend(validate_trace_dags(spans));
+    violations
+}
+
+/// Per-trace connectivity: every trace must be ONE connected DAG — a
+/// single root span (no parent, or a parent outside the trace) with
+/// every member span reachable from it by parent links. A merged
+/// artifact that absorbed shard hubs without reknitting their spans
+/// fails this with extra roots; a parent cycle fails it with
+/// unreachable spans.
+fn validate_trace_dags(spans: &[SpanRow]) -> Vec<String> {
+    let mut violations = Vec::new();
+    let mut traces: BTreeMap<u64, Vec<&SpanRow>> = BTreeMap::new();
+    for s in spans {
+        if let Some(t) = s.trace {
+            traces.entry(t).or_default().push(s);
+        }
+    }
+    for (tid, members) in &traces {
+        let ids: std::collections::BTreeSet<u64> = members.iter().map(|s| s.id).collect();
+        let roots: Vec<&&SpanRow> = members
+            .iter()
+            .filter(|s| s.parent.map(|p| !ids.contains(&p)).unwrap_or(true))
+            .collect();
+        if roots.len() != 1 {
+            let names: Vec<&str> = roots.iter().map(|s| s.name.as_str()).collect();
+            violations.push(format!(
+                "trace {tid} has {} roots ({}) — absorbed shard stores were not reknit into one DAG",
+                roots.len(),
+                if names.is_empty() {
+                    "none".to_string()
+                } else {
+                    names.join(", ")
+                }
+            ));
+            continue;
+        }
+        // Breadth-first walk from the root over parent links reversed.
+        let mut children: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+        for s in members {
+            if let Some(p) = s.parent.filter(|p| ids.contains(p)) {
+                children.entry(p).or_default().push(s.id);
+            }
+        }
+        let mut reachable = std::collections::BTreeSet::new();
+        let mut frontier = vec![roots[0].id];
+        while let Some(id) = frontier.pop() {
+            if reachable.insert(id) {
+                if let Some(kids) = children.get(&id) {
+                    frontier.extend(kids);
+                }
+            }
+        }
+        for s in members {
+            if !reachable.contains(&s.id) {
+                violations.push(format!(
+                    "trace {tid}: span {} `{}` is not reachable from root `{}` — disconnected DAG",
+                    s.id, s.name, roots[0].name
+                ));
+            }
         }
     }
     violations
@@ -452,5 +520,103 @@ fn main() -> ExitCode {
             eprintln!("udc-trace: {e}");
             ExitCode::from(2)
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(id: u64, parent: Option<u64>, trace: u64, name: &str) -> SpanRow {
+        SpanRow {
+            id,
+            parent,
+            trace: Some(trace),
+            name: name.to_string(),
+            start_us: 0,
+            end_us: Some(1),
+        }
+    }
+
+    /// The positive case the check exists for: spans recorded on several
+    /// shard-style hubs, absorbed into one store, exported to JSON, read
+    /// back through the real parse path — every trace must come out as
+    /// one connected DAG with zero violations of any kind.
+    #[test]
+    fn absorbed_multi_hub_artifact_validates_clean() {
+        use udc_telemetry::Telemetry;
+        let main = Telemetry::enabled();
+        {
+            let root = main.trace_root("cloud.submit");
+            let ctx = root.ctx().expect("trace context");
+            let child = main.span_in(&ctx, "sched.place");
+            child.exit();
+            root.exit();
+        }
+        // Two shard hubs, each minting its own complete trace (the
+        // ParSystem contract: workers never split a trace across hubs).
+        for shard in 0..2u32 {
+            let hub = Telemetry::enabled();
+            let root = hub.trace_root("actor.round");
+            let ctx = root.ctx().expect("trace context");
+            let d = hub.span_in(&ctx, &format!("actor.deliver.s{shard}"));
+            d.exit();
+            root.exit();
+            main.absorb_draining(&hub);
+        }
+        let text = main.snapshot().to_json();
+        let v: serde_json::Value = serde_json::from_str(&text).expect("export parses");
+        let spans = parse_spans(&v).expect("span schema");
+        assert_eq!(spans.len(), 6);
+        let traces: std::collections::BTreeSet<_> = spans.iter().filter_map(|s| s.trace).collect();
+        assert_eq!(traces.len(), 3, "absorb keeps shard traces distinct");
+        assert_eq!(validate(&spans), Vec::<String>::new());
+    }
+
+    #[test]
+    fn orphan_parent_is_a_violation() {
+        let spans = vec![row(0, None, 7, "cloud.submit"), row(1, Some(99), 7, "lost")];
+        let v = validate(&spans);
+        assert!(
+            v.iter().any(|m| m.contains("orphan span 1")),
+            "violations: {v:?}"
+        );
+    }
+
+    #[test]
+    fn two_roots_in_one_trace_is_a_violation() {
+        // The un-reknit shard-merge shape: both halves claim trace 3.
+        let spans = vec![
+            row(0, None, 3, "actor.round"),
+            row(1, Some(0), 3, "actor.deliver"),
+            row(2, None, 3, "actor.round"),
+            row(3, Some(2), 3, "actor.deliver"),
+        ];
+        let v = validate_trace_dags(&spans);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("trace 3 has 2 roots"), "violation: {}", v[0]);
+    }
+
+    #[test]
+    fn parent_cycle_is_unreachable_from_root() {
+        let spans = vec![
+            row(0, None, 5, "cloud.submit"),
+            row(1, Some(2), 5, "a"),
+            row(2, Some(1), 5, "b"),
+        ];
+        let v = validate_trace_dags(&spans);
+        assert_eq!(v.len(), 2, "both cycle members unreachable: {v:?}");
+        assert!(v.iter().all(|m| m.contains("not reachable from root")));
+    }
+
+    #[test]
+    fn single_connected_trace_passes_dag_check() {
+        let spans = vec![
+            row(0, None, 1, "cloud.submit"),
+            row(1, Some(0), 1, "sched.place"),
+            row(2, Some(1), 1, "hal.pool.allocate"),
+            row(3, Some(0), 1, "isolate.launch"),
+        ];
+        assert_eq!(validate_trace_dags(&spans), Vec::<String>::new());
     }
 }

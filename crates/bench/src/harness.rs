@@ -1,5 +1,5 @@
-//! A zero-dependency scoped thread pool for fanning independent
-//! experiment trials across worker threads.
+//! Experiment-driver harness: the in-order trial fan-out (shared with
+//! the actor crate's parallelism module) plus `--threads` CLI parsing.
 //!
 //! Experiments stay deterministic at any thread count by construction:
 //!
@@ -11,50 +11,12 @@
 //!    which worker finished when, so the driver absorbs/merges them in
 //!    the same order a serial run would.
 //!
-//! Nothing here depends on wall-clock time or OS scheduling for
-//! anything observable — threads only decide *who* computes a trial,
-//! never *what* it computes or where its result lands.
+//! The fan-out primitive itself lives in [`udc_actor::parallel`] — one
+//! scoped-pool implementation serves both the experiment drivers here
+//! and the actor crate's batch workloads — and is re-exported so every
+//! existing `harness::fan_out` call site keeps working.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
-/// Runs `f(0..trials)` across `threads` workers and returns the results
-/// indexed by trial, exactly as a serial `(0..trials).map(f)` would.
-///
-/// Work is distributed by an atomic next-trial counter, so uneven trial
-/// costs self-balance. With `threads <= 1` (or a single trial) no
-/// threads are spawned and `f` runs inline on the caller's stack.
-pub fn fan_out<T, F>(threads: usize, trials: usize, f: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    if threads <= 1 || trials <= 1 {
-        return (0..trials).map(f).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<T>>> = (0..trials).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(trials) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= trials {
-                    break;
-                }
-                let out = f(i);
-                *slots[i].lock().expect("fan_out slot poisoned") = Some(out);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|s| {
-            s.into_inner()
-                .expect("fan_out slot poisoned")
-                .expect("every trial fills its slot")
-        })
-        .collect()
-}
+pub use udc_actor::parallel::fan_out;
 
 /// Parses a `--threads N` / `--threads=N` flag out of an argument list.
 /// Returns the worker count (default 1) or an error message for a
@@ -108,6 +70,34 @@ mod tests {
         let serial = fan_out(1, 40, |i| i * i);
         for threads in [2, 4, 8] {
             assert_eq!(fan_out(threads, 40, |i| i * i), serial);
+        }
+    }
+
+    /// The driver shape every experiment binary relies on: per-trial
+    /// private hubs, absorbed in trial order, produce an artifact that
+    /// is byte-identical at any `--threads N`.
+    #[test]
+    fn absorbed_trial_hubs_are_identical_at_any_thread_count() {
+        use udc_telemetry::{Labels, Telemetry};
+        let run = |threads: usize| -> String {
+            let main = Telemetry::enabled();
+            let hubs = fan_out(threads, 12, |i| {
+                let hub = Telemetry::enabled();
+                // Trial index seeds the workload, never a shared stream.
+                hub.incr("trial.ops", Labels::none(), (i as u64 + 3) * 7 % 11);
+                hub.observe("trial.latency", Labels::none(), (i as u64 * 37) % 101);
+                hub
+            });
+            for hub in &hubs {
+                main.absorb(hub);
+            }
+            let ops = main.counter("trial.ops", &Labels::none());
+            let lat = main.histogram("trial.latency", &Labels::none());
+            format!("{ops} {lat:?}")
+        };
+        let serial = run(1);
+        for threads in [2, 4, 8] {
+            assert_eq!(run(threads), serial, "threads={threads}");
         }
     }
 

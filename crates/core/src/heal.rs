@@ -31,7 +31,9 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use crate::cloud::{Deployment, UdcCloud};
 use bytes::Bytes;
-use udc_actor::{Actor, ActorError, ActorId, Ctx, Message, SupervisionPolicy, System};
+use udc_actor::{
+    Actor, ActorError, ActorId, ActorRuntime, Ctx, Message, ParSystem, SupervisionPolicy, System,
+};
 use udc_dist::{recover, safe_truncation_seq, CheckpointStore, RecoveryOutcome, RecoveryStrategy};
 use udc_economics::LifecycleEvent;
 use udc_hal::DeviceId;
@@ -313,18 +315,45 @@ impl Actor for ModuleActor {
 /// deterministic actor system) plus user-defined checkpoints. The
 /// harness seeds each module's workload; [`UdcCloud::advance`] recovers
 /// it after a crash with the module's spec'd strategy.
-#[derive(Default)]
+///
+/// The model is executor-agnostic: it drives any [`ActorRuntime`], so
+/// the log it replays from can come from the single-threaded [`System`]
+/// (the default) or the work-stealing [`ParSystem`] — both produce the
+/// same per-actor log order, which is the only property recovery needs.
 pub struct RecoveryModel {
-    system: System,
+    system: Box<dyn ActorRuntime>,
     checkpoints: CheckpointStore,
     expected: BTreeMap<ActorId, u64>,
     recovered: BTreeMap<ActorId, u64>,
+}
+
+impl Default for RecoveryModel {
+    fn default() -> Self {
+        Self::with_runtime(Box::new(System::new()))
+    }
 }
 
 impl RecoveryModel {
     /// An empty model (modules recover with zero replay).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A model whose reliable log is produced by the given executor.
+    pub fn with_runtime(system: Box<dyn ActorRuntime>) -> Self {
+        Self {
+            system,
+            checkpoints: CheckpointStore::default(),
+            expected: BTreeMap::new(),
+            recovered: BTreeMap::new(),
+        }
+    }
+
+    /// A model seeded through the work-stealing parallel executor —
+    /// useful when a harness seeds large fleets and wants the fan-out
+    /// parallelised. Recovery results are identical to the default.
+    pub fn parallel(threads: usize) -> Self {
+        Self::with_runtime(Box::new(ParSystem::new(threads)))
     }
 
     /// Seeds `module` with a processed stream of `messages` messages
@@ -1243,6 +1272,36 @@ mod tests {
             .unwrap();
         assert_eq!(out.replayed, 50);
         assert_eq!(model.recovered_state(&a), model.expected_state(&a));
+    }
+
+    #[test]
+    fn parallel_runtime_recovers_identically_to_the_default() {
+        // The same workload seeded through the work-stealing executor
+        // must checkpoint, compact and recover to the same state as the
+        // single-threaded default — the log contract behind
+        // `RecoveryModel::with_runtime`.
+        let a = ModuleId::from("A");
+        let b = ModuleId::from("B");
+        let mut serial = RecoveryModel::new();
+        let mut par = RecoveryModel::parallel(4);
+        for model in [&mut serial, &mut par] {
+            model.seed_workload(&a, 37, Some(10));
+            model.seed_workload(&b, 25, None);
+        }
+        assert_eq!(par.log_len(), serial.log_len());
+        for id in [&a, &b] {
+            assert_eq!(par.expected_state(id), serial.expected_state(id));
+            let strategy = if id == &a {
+                RecoveryStrategy::FromCheckpoint
+            } else {
+                RecoveryStrategy::Reexecute
+            };
+            let out_s = serial.recover_module(id, strategy).unwrap();
+            let out_p = par.recover_module(id, strategy).unwrap();
+            assert_eq!(out_p, out_s, "recovery outcome diverged for {id}");
+            assert_eq!(par.recovered_state(id), serial.recovered_state(id));
+            assert_eq!(par.recovered_state(id), par.expected_state(id));
+        }
     }
 
     #[test]

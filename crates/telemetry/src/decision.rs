@@ -204,6 +204,13 @@ impl DecisionLog {
         }
     }
 
+    /// Empties the log after a draining absorb; `dropped` resets for the
+    /// same reason as [`crate::recorder::FlightRecorder::drain`].
+    pub fn drain(&mut self) {
+        self.records.clear();
+        self.dropped = 0;
+    }
+
     pub fn records(&self) -> impl Iterator<Item = &DecisionRecord> {
         self.records.iter()
     }

@@ -406,6 +406,29 @@ impl Telemetry {
     /// them in a fixed order (trial order, not completion order), so
     /// the merged snapshot is identical at any thread count.
     pub fn absorb(&self, other: &Telemetry) {
+        self.absorb_inner(other, false);
+    }
+
+    /// [`Telemetry::absorb`] followed by emptying the source hub: the
+    /// merged series, spans, events and decisions are cleared from
+    /// `other` so a subsequent absorb contributes only what was recorded
+    /// *since*. This is the repeated-barrier-merge primitive: a parallel
+    /// executor absorbing its shard hubs every round would double-count
+    /// every counter with plain `absorb` (the source registry keeps its
+    /// merged totals); draining makes round merges additive.
+    ///
+    /// The source's instrument handles stay registered and valid —
+    /// counter/histogram cells drain at flush anyway, and a gauge cell's
+    /// high-water is monotone, so re-flushing after a drain merges
+    /// idempotently. The source must not have open spans (panics: an
+    /// open span holds an index into the store being cleared). Like
+    /// `absorb`, a no-op when either hub is disabled, so nothing is
+    /// drained unless it was actually merged.
+    pub fn absorb_draining(&self, other: &Telemetry) {
+        self.absorb_inner(other, true);
+    }
+
+    fn absorb_inner(&self, other: &Telemetry, drain: bool) {
         let (Some(dst), Some(src)) = (&self.inner, &other.inner) else {
             return;
         };
@@ -427,6 +450,12 @@ impl Telemetry {
         d.recorder.absorb(&s.recorder);
         d.decisions.absorb(&s.decisions, trace_offset);
         d.next_trace += s.next_trace;
+        if drain {
+            s.metrics.clear();
+            s.spans.drain();
+            s.recorder.drain();
+            s.decisions.drain();
+        }
     }
 
     /// A consistent copy of everything recorded so far.
@@ -540,6 +569,78 @@ mod tests {
             merged.histogram("lat", &Labels::none()),
             whole.histogram("lat", &Labels::none())
         );
+    }
+
+    #[test]
+    fn absorb_draining_makes_round_merges_additive() {
+        // The parallel-executor barrier shape: shard hubs drained into
+        // the main hub every round, instrument handles staying live.
+        let main = Telemetry::enabled();
+        let shard = Telemetry::enabled();
+        let ops = shard.counter_handle("par.executed", &Labels::none());
+        let depth = shard.gauge_handle("par.depth", &Labels::none());
+        let lat = shard.histogram_handle("par.latency", &Labels::none());
+
+        ops.incr(5);
+        depth.set(9);
+        depth.set(2);
+        lat.observe(10);
+        shard.span("round").exit();
+        main.absorb_draining(&shard);
+        assert_eq!(main.counter("par.executed", &Labels::none()), 5);
+        assert_eq!(main.gauge("par.depth", &Labels::none()), Some((2, 9)));
+        assert_eq!(main.snapshot().spans.len(), 1);
+        // The shard hub is empty again…
+        assert_eq!(shard.counter("par.executed", &Labels::none()), 0);
+        assert!(shard.snapshot().spans.is_empty());
+
+        // …so a second round through the SAME handles contributes only
+        // its own delta — plain absorb would have re-added round one.
+        ops.incr(3);
+        depth.set(5);
+        lat.observe(30);
+        main.absorb_draining(&shard);
+        assert_eq!(main.counter("par.executed", &Labels::none()), 8);
+        // Gauge takes the fresh value; the high-water cell is monotone
+        // across drains, so round one's peak survives.
+        assert_eq!(main.gauge("par.depth", &Labels::none()), Some((5, 9)));
+        let h = main.histogram("par.latency", &Labels::none()).unwrap();
+        assert_eq!((h.count, h.min, h.max), (2, 10, 30));
+        assert_eq!(
+            main.snapshot().spans.len(),
+            1,
+            "spans drained, not re-merged"
+        );
+
+        // An empty drain is a no-op.
+        main.absorb_draining(&shard);
+        assert_eq!(main.counter("par.executed", &Labels::none()), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "still open")]
+    fn absorb_draining_rejects_open_source_spans() {
+        let main = Telemetry::enabled();
+        let shard = Telemetry::enabled();
+        // Forget the guard: its Drop would otherwise re-panic on the
+        // poisoned hub while the expected panic unwinds.
+        std::mem::forget(shard.span("never.closed"));
+        main.absorb_draining(&shard);
+    }
+
+    #[test]
+    fn absorb_draining_noops_when_either_hub_is_disabled() {
+        let src = Telemetry::enabled();
+        src.incr("x", Labels::none(), 4);
+        Telemetry::disabled().absorb_draining(&src);
+        assert_eq!(
+            src.counter("x", &Labels::none()),
+            4,
+            "nothing merged, so nothing drained"
+        );
+        let dst = Telemetry::enabled();
+        dst.absorb_draining(&Telemetry::disabled());
+        assert_eq!(dst.counter("x", &Labels::none()), 0);
     }
 
     #[test]

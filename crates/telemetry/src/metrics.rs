@@ -79,6 +79,16 @@ impl MetricsRegistry {
     /// the incoming value (high-water marks max together), histograms
     /// merge bucket-wise. Used by [`crate::Telemetry::absorb`] to
     /// combine per-trial hubs from parallel experiment workers.
+    /// Empties the registry. Used by the draining absorb
+    /// ([`crate::Telemetry::absorb_draining`]): once a source hub's
+    /// series are merged into a destination, clearing them is what makes
+    /// repeated barrier merges additive instead of double-counting.
+    pub fn clear(&mut self) {
+        self.counters.clear();
+        self.gauges.clear();
+        self.histograms.clear();
+    }
+
     pub fn merge(&mut self, other: &MetricsRegistry) {
         for (k, v) in other.counters.iter() {
             *self.counters.entry(k.clone()).or_insert(0) += v;

@@ -185,6 +185,14 @@ impl FlightRecorder {
         self.dropped += other.dropped;
     }
 
+    /// Empties the ring after a draining absorb. `dropped` resets too:
+    /// `absorb` carries it over, so leaving it in place would re-count
+    /// the same drops at every barrier merge. `next_seq` stays monotone.
+    pub fn drain(&mut self) {
+        self.events.clear();
+        self.dropped = 0;
+    }
+
     pub fn events(&self) -> impl Iterator<Item = &Event> {
         self.events.iter()
     }

@@ -105,6 +105,18 @@ impl SpanStore {
     pub fn records(&self) -> &[SpanRecord] {
         &self.records
     }
+
+    /// Empties the store for a draining absorb. Open spans hold indices
+    /// into `records`, so draining under one would corrupt the guard's
+    /// close — that is a caller bug, not a recoverable state.
+    pub fn drain(&mut self) {
+        assert!(
+            self.open.is_empty(),
+            "SpanStore::drain with {} span(s) still open",
+            self.open.len()
+        );
+        self.records.clear();
+    }
 }
 
 /// Guard for an open span; the span closes when this drops. On a

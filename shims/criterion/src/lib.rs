@@ -44,6 +44,19 @@ fn record(name: &str, ns_per_iter: f64) {
         .push((name.to_string(), ns_per_iter));
 }
 
+/// Records an arbitrary named value into the bench JSON alongside the
+/// timing results (shim extension; no real-criterion equivalent).
+///
+/// Threshold checks sometimes need a fact about the measuring machine
+/// next to the measurements — e.g. a parallel-speedup floor is only
+/// meaningful when the artifact says how many CPUs the run actually
+/// had. Entries share the `{name, ns_per_iter}` schema so downstream
+/// readers need no second parser; use a distinguishing prefix such as
+/// `env/` for non-timing entries.
+pub fn record_value(name: &str, value: f64) {
+    record(name, value);
+}
+
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
@@ -437,5 +450,14 @@ mod tests {
     #[test]
     fn empty_results_render_an_empty_list() {
         assert_eq!(render_results(&[]), "{\n  \"benches\": [\n  ]\n}\n");
+    }
+
+    #[test]
+    fn recorded_values_land_in_the_results_sink() {
+        record_value("env/cpus", 8.0);
+        let results = RESULTS.lock().expect("bench sink poisoned");
+        assert!(results
+            .iter()
+            .any(|(name, v)| name == "env/cpus" && *v == 8.0));
     }
 }
